@@ -1,0 +1,280 @@
+// Benchmarks regenerating every experiment table/figure (one benchmark per
+// experiment, named after its ID) plus micro-benchmarks of the middleware's
+// hot paths.
+//
+//	go test -bench=. -benchmem
+package logmob_test
+
+import (
+	"testing"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/core"
+	"logmob/internal/lmu"
+	"logmob/internal/netsim"
+	"logmob/internal/registry"
+	"logmob/internal/security"
+	"logmob/internal/sim"
+	"logmob/internal/transport"
+	"logmob/internal/vm"
+)
+
+// benchExperiment runs one full experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := sim.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(int64(i + 1))
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkT1ParadigmTraffic(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkT2CodecCOD(b *testing.B)        { benchExperiment(b, "T2") }
+func BenchmarkT3Disaster(b *testing.B)        { benchExperiment(b, "T3") }
+func BenchmarkT4DisasterLatency(b *testing.B) { benchExperiment(b, "T4") }
+func BenchmarkT5Shopping(b *testing.B)        { benchExperiment(b, "T5") }
+func BenchmarkT6Offload(b *testing.B)         { benchExperiment(b, "T6") }
+func BenchmarkT7Discovery(b *testing.B)       { benchExperiment(b, "T7") }
+func BenchmarkT8Security(b *testing.B)        { benchExperiment(b, "T8") }
+func BenchmarkT9Cinema(b *testing.B)          { benchExperiment(b, "T9") }
+func BenchmarkT10Micro(b *testing.B)          { benchExperiment(b, "T10") }
+func BenchmarkA1Eviction(b *testing.B)        { benchExperiment(b, "A1") }
+func BenchmarkA2Decider(b *testing.B)         { benchExperiment(b, "A2") }
+
+// --- middleware hot paths ---
+
+// BenchmarkVMDispatch measures raw interpreter throughput.
+func BenchmarkVMDispatch(b *testing.B) {
+	prog := vm.MustAssemble(`
+.entry main
+main:
+	store 0
+loop:
+	load 0
+	jz done
+	load 0
+	push 1
+	sub
+	store 0
+	jmp loop
+done:
+	halt
+`)
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m, err := vm.New(prog, nil, 1<<40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetEntry("main", 1000); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkVMSnapshotRestore measures the strong-mobility primitive.
+func BenchmarkVMSnapshotRestore(b *testing.B) {
+	prog := vm.MustAssemble(`
+.globals 8
+.entry main
+main:
+	push 11
+	call inner
+	halt
+inner:
+	store 5
+	push 99
+	gstore 3
+	push 1000000
+	host pause
+	ret
+`)
+	host := vm.NewHostTable()
+	host.Register(vm.HostFunc{Name: "pause", Arity: 1,
+		Fn: func(*vm.Machine, []int64) ([]int64, int64, error) { return nil, 1, nil }})
+	m, err := vm.New(prog, host, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetEntry("main"); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := m.Snapshot()
+		if _, err := vm.Restore(prog, host, 1000, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLMUPackUnpack measures unit serialisation round trips (10KB unit).
+func BenchmarkLMUPackUnpack(b *testing.B) {
+	u := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "bench", Version: "1.0", Kind: lmu.KindComponent},
+		Code:     make([]byte, 5<<10),
+		Data:     map[string][]byte{"table": make([]byte, 5<<10)},
+	}
+	b.SetBytes(int64(u.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed := u.Pack()
+		if _, err := lmu.Unpack(packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignVerify measures the security path run on every foreign unit.
+func BenchmarkSignVerify(b *testing.B) {
+	id := security.MustNewIdentity("bench")
+	trust := security.NewTrustStore()
+	trust.TrustIdentity(id)
+	u := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "bench", Version: "1.0", Kind: lmu.KindComponent, Publisher: "bench"},
+		Code:     make([]byte, 10<<10),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id.Sign(u)
+		if err := security.Verify(u, trust, security.Policy{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistry measures store churn under quota pressure.
+func BenchmarkRegistry(b *testing.B) {
+	units := make([]*lmu.Unit, 16)
+	for i := range units {
+		units[i] = &lmu.Unit{
+			Manifest: lmu.Manifest{Name: string(rune('a' + i)), Version: "1.0", Kind: lmu.KindComponent},
+			Code:     make([]byte, 1024),
+		}
+	}
+	quota := int64(units[0].Size()) * 4
+	r := registry.New(quota)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := units[i%len(units)]
+		if err := r.Put(u); err != nil {
+			b.Fatal(err)
+		}
+		r.Get(u.Manifest.Name)
+	}
+}
+
+// BenchmarkKernelCallSim measures one CS round trip through the full kernel
+// and simulator stack.
+func BenchmarkKernelCallSim(b *testing.B) {
+	s := netsim.NewSim(1)
+	net := netsim.NewNetwork(s)
+	sn := transport.NewSimNetwork(net)
+	class := netsim.LAN
+	mk := func(name string) *core.Host {
+		net.AddNode(name, netsim.Position{}, class)
+		ep, err := sn.Endpoint(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := core.NewHost(core.Config{Name: name, Endpoint: ep, Scheduler: s})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	server := mk("server")
+	client := mk("client")
+	server.RegisterService("ping", func(string, [][]byte) ([][]byte, error) {
+		return [][]byte{{1}}, nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		client.Call("server", "ping", [][]byte{{0}}, func([][]byte, error) { done = true })
+		s.RunFor(time.Second)
+		if !done {
+			b.Fatal("call never completed")
+		}
+	}
+}
+
+// BenchmarkAgentHop measures one full agent migration (snapshot, transfer,
+// verify, restore, resume) through the kernel and simulator.
+func BenchmarkAgentHop(b *testing.B) {
+	benchAgentHop(b)
+}
+
+func benchAgentHop(b *testing.B) {
+	b.Helper()
+	s := netsim.NewSim(1)
+	net := netsim.NewNetwork(s)
+	sn := transport.NewSimNetwork(net)
+	mkPlat := func(name string) *core.Host {
+		net.AddNode(name, netsim.Position{}, netsim.LAN)
+		ep, err := sn.Endpoint(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := core.NewHost(core.Config{
+			Name: name, Endpoint: ep, Scheduler: s,
+			Policy: security.Policy{AllowUnsigned: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	ha := mkPlat("a")
+	hb := mkPlat("b")
+	platA := newBenchPlatform(ha)
+	newBenchPlatform(hb)
+
+	prog := vm.MustAssemble(`
+.entry main
+main:
+	host a_select_dest
+	jz done
+	host a_migrate
+	pop
+done:
+	halt
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platA.Spawn("hopper", prog,
+			map[string][]byte{"dest": []byte("b")}, "main"); err != nil {
+			b.Fatal(err)
+		}
+		s.RunFor(time.Second)
+	}
+}
+
+// newBenchPlatform attaches an agent runtime with a fixed seed.
+func newBenchPlatform(h *core.Host) *agent.Platform {
+	return agent.NewPlatform(h, agent.Env{Seed: 1})
+}
+
+func BenchmarkA3UpdateCadence(b *testing.B) { benchExperiment(b, "A3") }

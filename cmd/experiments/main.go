@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 run everything
+//	experiments -run T3,T4      run selected experiments
+//	experiments -seed 7         change the deterministic seed
+//	experiments -list           list experiments and their motivations
+//	experiments -csv out/       also write each table as CSV under out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"logmob/internal/sim"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.All() {
+			fmt.Printf("%-4s %s\n     motivation: %s\n", e.ID, e.Title, e.Motivation)
+		}
+		return
+	}
+
+	var selected []sim.Experiment
+	if *runFlag == "" {
+		selected = sim.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := sim.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("running %s (%s) ...\n", e.ID, e.Title)
+		res := e.Run(*seed)
+		res.Render(os.Stdout)
+		if *csvDir != "" {
+			for i, t := range res.Tables {
+				name := fmt.Sprintf("%s_table%d.csv", strings.ToLower(e.ID), i+1)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				t.RenderCSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

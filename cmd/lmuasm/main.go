@@ -1,0 +1,174 @@
+// Command lmuasm assembles, disassembles and runs logmob VM programs.
+//
+// Usage:
+//
+//	lmuasm asm [-o prog.bin] prog.s        assemble to bytecode
+//	lmuasm dis prog.bin                    disassemble to stdout
+//	lmuasm run [-entry main] [-args 1,2,3] [-fuel N] prog.s|prog.bin
+//
+// run links a small standard capability set: now_ms, log and rand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"logmob/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "dis":
+		err = cmdDis(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmuasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lmuasm asm [-o prog.bin] prog.s
+  lmuasm dis prog.bin
+  lmuasm run [-entry main] [-args 1,2,3] [-fuel N] prog.s|prog.bin`)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default: input with .bin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm: need exactly one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := vm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(fs.Arg(0), ".s") + ".bin"
+	}
+	if err := os.WriteFile(dst, prog.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d entries, %d imports -> %s\n",
+		fs.Arg(0), len(prog.Code), len(prog.Entries), len(prog.Imports), dst)
+	return nil
+}
+
+func cmdDis(args []string) error {
+	fs := flag.NewFlagSet("dis", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dis: need exactly one bytecode file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := vm.DecodeProgram(data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(vm.Disassemble(prog))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	entry := fs.String("entry", "main", "entry point")
+	argList := fs.String("args", "", "comma-separated integer arguments")
+	fuel := fs.Int64("fuel", 10_000_000, "instruction budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need exactly one program file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var prog *vm.Program
+	if strings.HasSuffix(fs.Arg(0), ".s") {
+		prog, err = vm.Assemble(string(data))
+	} else {
+		prog, err = vm.DecodeProgram(data)
+	}
+	if err != nil {
+		return err
+	}
+
+	host := vm.NewHostTable()
+	start := time.Now()
+	host.Register(vm.HostFunc{Name: "now_ms", Arity: 0,
+		Fn: func(*vm.Machine, []int64) ([]int64, int64, error) {
+			return []int64{time.Since(start).Milliseconds()}, 0, nil
+		}})
+	host.Register(vm.HostFunc{Name: "log", Arity: 1,
+		Fn: func(_ *vm.Machine, a []int64) ([]int64, int64, error) {
+			fmt.Printf("log: %d\n", a[0])
+			return nil, 0, nil
+		}})
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	host.Register(vm.HostFunc{Name: "rand", Arity: 1,
+		Fn: func(_ *vm.Machine, a []int64) ([]int64, int64, error) {
+			if a[0] <= 0 {
+				return []int64{0}, 0, nil
+			}
+			return []int64{rng.Int63n(a[0])}, 0, nil
+		}})
+
+	m, err := vm.New(prog, host, *fuel)
+	if err != nil {
+		return err
+	}
+	var entryArgs []int64
+	if *argList != "" {
+		for _, s := range strings.Split(*argList, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("run: bad argument %q", s)
+			}
+			entryArgs = append(entryArgs, v)
+		}
+	}
+	if err := m.SetEntry(*entry, entryArgs...); err != nil {
+		return err
+	}
+	wall := time.Now()
+	runErr := m.Run()
+	elapsed := time.Since(wall)
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("status: %s\nsteps: %d (%.1f M/s)\nstack: %v\n",
+		m.Status(), m.Steps, float64(m.Steps)/elapsed.Seconds()/1e6, m.Stack())
+	return nil
+}

@@ -1,0 +1,245 @@
+// Command logmobd runs a logmob middleware node over real TCP and provides
+// client subcommands to talk to one, demonstrating that the kernel is not
+// simulator-bound.
+//
+// Usage:
+//
+//	logmobd serve -listen 127.0.0.1:7001 [-allow-unsigned]
+//	    Run a node serving Remote Evaluation, hosting agents, offering an
+//	    "echo" service and publishing a demo component "tool/add".
+//
+//	logmobd call -to ADDR -service echo -arg hello
+//	    Invoke a Client/Server service.
+//
+//	logmobd eval -to ADDR -src prog.s [-entry main] [-args 1,2]
+//	    Assemble a local program and ship it for Remote Evaluation.
+//
+//	logmobd fetch -to ADDR -name tool/add [-entry main] [-args 1,2]
+//	    Fetch a published component (Code On Demand) and run it locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/core"
+	"logmob/internal/lmu"
+	"logmob/internal/security"
+	"logmob/internal/transport"
+	"logmob/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch ...")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "call":
+		err = cmdCall(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "fetch":
+		err = cmdFetch(os.Args[2:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch ...")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logmobd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newTCPHost builds a kernel host on a TCP endpoint.
+func newTCPHost(listen string, allowUnsigned bool) (*core.Host, error) {
+	ep, err := transport.ListenTCP(listen)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHost(core.Config{
+		Endpoint:  ep,
+		Scheduler: transport.NewWallScheduler(),
+		Policy:    security.Policy{AllowUnsigned: allowUnsigned},
+		ServeEval: true,
+	})
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7001", "listen address")
+	allowUnsigned := fs.Bool("allow-unsigned", true, "accept unsigned units (demo default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := newTCPHost(*listen, *allowUnsigned)
+	if err != nil {
+		return err
+	}
+	h.RegisterService("echo", func(from string, args [][]byte) ([][]byte, error) {
+		fmt.Printf("echo from %s: %d frame(s)\n", from, len(args))
+		return args, nil
+	})
+	addUnit := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "tool/add", Version: "1.0", Kind: lmu.KindComponent},
+		Code:     vm.MustAssemble(".entry main\nmain:\nadd\nhalt\n").Encode(),
+	}
+	if err := h.Publish(addUnit); err != nil {
+		return err
+	}
+	agent.NewPlatform(h, agent.Env{
+		Seed: time.Now().UnixNano(),
+		OnDone: func(r agent.Record) {
+			fmt.Printf("agent %s finished: %v (stack %v)\n", r.ID, r.Status, r.Stack)
+		},
+	})
+	h.OnMessage(func(from, topic string, data []byte) {
+		fmt.Printf("message from %s [%s]: %q\n", from, topic, data)
+	})
+
+	fmt.Printf("logmobd node %s: serving eval, hosting agents, publishing tool/add\n", h.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	return h.Close()
+}
+
+// clientHost makes an ephemeral host for one client operation.
+func clientHost() (*core.Host, error) {
+	return newTCPHost("127.0.0.1:0", true)
+}
+
+func cmdCall(args []string) error {
+	fs := flag.NewFlagSet("call", flag.ExitOnError)
+	to := fs.String("to", "", "server address")
+	service := fs.String("service", "echo", "service name")
+	arg := fs.String("arg", "", "single string argument")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("call: -to is required")
+	}
+	h, err := clientHost()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	done := make(chan error, 1)
+	h.Call(*to, *service, [][]byte{[]byte(*arg)}, func(results [][]byte, err error) {
+		if err == nil {
+			for i, r := range results {
+				fmt.Printf("result[%d] = %q\n", i, r)
+			}
+		}
+		done <- err
+	})
+	return wait(done)
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	to := fs.String("to", "", "server address")
+	src := fs.String("src", "", "assembly source file")
+	entry := fs.String("entry", "main", "entry point")
+	argList := fs.String("args", "", "comma-separated integer args")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" || *src == "" {
+		return fmt.Errorf("eval: -to and -src are required")
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		return err
+	}
+	prog, err := vm.Assemble(string(text))
+	if err != nil {
+		return err
+	}
+	unit := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "cli/" + *src, Version: "1.0", Kind: lmu.KindRequest},
+		Code:     prog.Encode(),
+	}
+	h, err := clientHost()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	done := make(chan error, 1)
+	h.Eval(*to, unit, *entry, parseInts(*argList), func(stack []int64, err error) {
+		if err == nil {
+			fmt.Printf("stack: %v\n", stack)
+		}
+		done <- err
+	})
+	return wait(done)
+}
+
+func cmdFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	to := fs.String("to", "", "server address")
+	name := fs.String("name", "tool/add", "published unit name")
+	entry := fs.String("entry", "main", "entry point to run after fetching")
+	argList := fs.String("args", "20,22", "comma-separated integer args")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("fetch: -to is required")
+	}
+	h, err := clientHost()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	done := make(chan error, 1)
+	h.Fetch(*to, *name, "", func(u *lmu.Unit, err error) {
+		if err != nil {
+			done <- err
+			return
+		}
+		fmt.Printf("fetched %s@%s (%d bytes)\n", u.Manifest.Name, u.Manifest.Version, u.Size())
+		stack, err := h.RunComponent(*name, *entry, parseInts(*argList)...)
+		if err == nil {
+			fmt.Printf("local run stack: %v\n", stack)
+		}
+		done <- err
+	})
+	return wait(done)
+}
+
+func parseInts(list string) []int64 {
+	if list == "" {
+		return nil
+	}
+	var out []int64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logmobd: ignoring bad integer %q\n", s)
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func wait(done chan error) error {
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("timed out")
+	}
+}

@@ -1,0 +1,120 @@
+// Adaptive example — the paper's next-generation requirement that
+// "different mobile code paradigms could be plugged-in dynamically and used
+// when needed after assessment of the environment and application": the
+// same task, executed three times as its shape and the device's context
+// change, lands on three different paradigms.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"logmob"
+	"logmob/internal/adapt"
+	"logmob/internal/policy"
+)
+
+func main() {
+	sim := logmob.NewSim(13)
+	net := logmob.NewNetwork(sim)
+	sn := logmob.NewSimNetwork(net)
+
+	id, err := logmob.NewIdentity("publisher")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := logmob.NewTrustStore()
+	trust.TrustIdentity(id)
+
+	mk := func(name string, class logmob.LinkClass) *logmob.Host {
+		net.AddNode(name, logmob.Position{}, class)
+		ep, err := sn.Endpoint(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := logmob.NewHost(logmob.HostConfig{
+			Name: name, Endpoint: ep, Scheduler: sim, Trust: trust, ServeEval: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	server := mk("server", logmob.LAN)
+	device := mk("device", logmob.WLAN)
+
+	// One capability, offered every way: a doubling tool.
+	unit := &logmob.Unit{
+		Manifest: logmob.Manifest{Name: "tool/double", Version: "1.0",
+			Kind: logmob.KindComponent, Publisher: "publisher"},
+		Code: logmob.MustAssemble(".entry main\nmain:\npush 2\nmul\nhalt\n").Encode(),
+	}
+	id.Sign(unit)
+	if err := server.Publish(unit); err != nil {
+		log.Fatal(err)
+	}
+	server.RegisterService("double", func(from string, args [][]byte) ([][]byte, error) {
+		vals := adapt.DecodeArgs(args)
+		for i := range vals {
+			vals[i] *= 2
+		}
+		return adapt.EncodeReplies(vals), nil
+	})
+
+	runner := logmob.NewTaskRunner(device, nil)
+	runTask := func(label string, interactions int64) {
+		spec := &logmob.TaskSpec{
+			Model: policy.Task{
+				Interactions: interactions,
+				ReqBytes:     16, ReplyBytes: 16,
+				CodeBytes:   int64(unit.Size()),
+				ResultBytes: 16,
+			},
+			Remote: "server", Service: "double",
+			Unit: unit, Entry: "main", Args: []int64{21},
+		}
+		runner.Run(spec, func(out logmob.TaskOutcome, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-34s -> %-3s (%d round(s), result %v)\n",
+				label, out.Paradigm, out.Rounds, out.Stack)
+		})
+		sim.RunFor(5 * time.Minute)
+	}
+
+	fmt.Println("the same capability, chosen by context assessment:")
+	runTask("one-shot query", 1)
+	runTask("steady use, 400 rounds", 400)
+
+	// A compute-heavy pipeline with bulky intermediate results: chatting
+	// (CS) would haul every intermediate over the link, running locally
+	// (COD) would crawl on the weak CPU — shipping the code out once (REV)
+	// wins.
+	heavy := &logmob.TaskSpec{
+		Model: policy.Task{
+			Interactions: 10,
+			ReqBytes:     64, ReplyBytes: 2048,
+			CodeBytes:    int64(unit.Size()),
+			ResultBytes:  64,
+			ComputeUnits: 30, // seconds on the reference CPU
+		},
+		Remote: "server", Service: "double",
+		Unit: unit, Entry: "main", Args: []int64{21},
+	}
+	device.Context().SetNum("cpu.factor", 0.2)        // weak device
+	device.Context().SetNum("remote.cpu.factor", 8.0) // strong server
+	runner.Run(heavy, func(out logmob.TaskOutcome, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s -> %-3s (%d round(s), result %v)\n",
+			"compute pipeline on a weak device", out.Paradigm, out.Rounds, out.Stack)
+	})
+	sim.RunFor(5 * time.Minute)
+
+	fmt.Printf("\nexecutions by paradigm: %v\n", runner.Executions())
+}

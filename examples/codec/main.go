@@ -1,0 +1,102 @@
+// Codec example — the paper's "Limited Resources and Dynamic Update"
+// scenario: a device with space for only a few codecs plays a skewed stream
+// of audio formats, fetching decoders on demand and evicting cold ones.
+//
+//	go run ./examples/codec
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"logmob"
+	"logmob/internal/app"
+	"logmob/internal/registry"
+)
+
+const (
+	formats = 12
+	plays   = 60
+	quota   = 3 // codecs' worth of storage
+)
+
+func main() {
+	sim := logmob.NewSim(7)
+	net := logmob.NewNetwork(sim)
+	sn := logmob.NewSimNetwork(net)
+
+	publisher, err := logmob.NewIdentity("codec-vendor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := logmob.NewTrustStore()
+	trust.TrustIdentity(publisher)
+
+	// Repository on the wired side.
+	net.AddNode("repo", logmob.Position{}, logmob.LAN)
+	repoEP, _ := sn.Endpoint("repo")
+	repo, err := logmob.NewHost(logmob.HostConfig{
+		Name: "repo", Endpoint: repoEP, Scheduler: sim, Trust: trust,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalogue := app.CodecCatalogue(publisher, formats, 4<<10)
+	for _, u := range catalogue {
+		if err := repo.Publish(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The device: WLAN, tiny storage quota, LRU eviction.
+	net.AddNode("device", logmob.Position{}, logmob.WLAN)
+	devEP, _ := sn.Endpoint("device")
+	devQuota := int64(quota) * int64(catalogue[0].Size())
+	device, err := logmob.NewHost(logmob.HostConfig{
+		Name: "device", Endpoint: devEP, Scheduler: sim, Trust: trust,
+		Registry: logmob.NewRegistry(devQuota, registry.WithClock(sim.Now)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("catalogue: %d codecs x %d bytes; device quota: %d bytes (%d codecs)\n\n",
+		formats, catalogue[0].Size(), devQuota, quota)
+
+	player := &app.Player{Host: device, Repo: "repo", Samples: 128}
+	zipf := app.NewZipf(formats, 1.1, 7)
+	var play func(i int)
+	play = func(i int) {
+		if i >= plays {
+			return
+		}
+		format := fmt.Sprintf("fmt-%02d", zipf.Next())
+		player.Play(format, func(checksum int64, hit bool, err error) {
+			if err != nil {
+				log.Fatalf("play %s: %v", format, err)
+			}
+			how := "fetched"
+			if hit {
+				how = "cache  "
+			}
+			if i < 12 || i == plays-1 {
+				fmt.Printf("play %2d: %s via %s (checksum %d)\n", i, format, how, checksum)
+			} else if i == 12 {
+				fmt.Println("...")
+			}
+			play(i + 1)
+		})
+	}
+	play(0)
+	sim.RunFor(time.Hour)
+
+	stats := device.Registry().Stats()
+	usage := net.UsageOf("device")
+	fmt.Printf("\n%d plays: %d fetches, %d cache hits (%.0f%%), %d evictions\n",
+		player.Plays, player.Fetches, player.Hits,
+		100*float64(player.Hits)/float64(player.Plays), stats.Evictions)
+	fmt.Printf("device storage in use: %d / %d bytes\n", device.Registry().Used(), devQuota)
+	fmt.Printf("link traffic: %d bytes (preloading all would store %d bytes)\n",
+		usage.BytesRecv, int64(formats)*int64(catalogue[0].Size()))
+}

@@ -1,0 +1,124 @@
+// Quickstart: a two-host simulated world exercising all four mobile-code
+// paradigms through the public logmob facade.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"logmob"
+	"logmob/internal/agent"
+)
+
+func main() {
+	// A deterministic simulated world: one LAN server, one GPRS device.
+	sim := logmob.NewSim(42)
+	net := logmob.NewNetwork(sim)
+	sn := logmob.NewSimNetwork(net)
+
+	publisher, err := logmob.NewIdentity("publisher")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := logmob.NewTrustStore()
+	trust.TrustIdentity(publisher)
+
+	mkHost := func(name string, class logmob.LinkClass) *logmob.Host {
+		net.AddNode(name, logmob.Position{}, class)
+		ep, err := sn.Endpoint(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := logmob.NewHost(logmob.HostConfig{
+			Name: name, Endpoint: ep, Scheduler: sim, Trust: trust, ServeEval: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	server := mkHost("server", logmob.LAN)
+	device := mkHost("device", logmob.GPRS)
+
+	// ---------------------------------------------------------------- CS
+	server.RegisterService("greet", func(from string, args [][]byte) ([][]byte, error) {
+		return [][]byte{[]byte("hello " + string(args[0]))}, nil
+	})
+	device.Call("server", "greet", [][]byte{[]byte("device")}, func(r [][]byte, err error) {
+		must(err)
+		fmt.Printf("CS   call reply: %s\n", r[0])
+	})
+
+	// --------------------------------------------------------------- COD
+	// The server publishes a signed component; the device fetches and runs
+	// it locally.
+	mul := &logmob.Unit{
+		Manifest: logmob.Manifest{
+			Name: "tool/mul", Version: "1.0",
+			Kind: logmob.KindComponent, Publisher: "publisher",
+		},
+		Code: logmob.MustAssemble(".entry main\nmain:\nmul\nhalt\n").Encode(),
+	}
+	publisher.Sign(mul)
+	must(server.Publish(mul))
+	device.Fetch("server", "tool/mul", "", func(u *logmob.Unit, err error) {
+		must(err)
+		stack, err := device.RunComponent("tool/mul", "main", 6, 7)
+		must(err)
+		fmt.Printf("COD  fetched %s@%s (%d bytes), local run: %v\n",
+			u.Manifest.Name, u.Manifest.Version, u.Size(), stack)
+	})
+
+	// --------------------------------------------------------------- REV
+	// The device ships code to the server and gets the result back.
+	square := &logmob.Unit{
+		Manifest: logmob.Manifest{
+			Name: "job/square", Version: "1.0",
+			Kind: logmob.KindRequest, Publisher: "publisher",
+		},
+		Code: logmob.MustAssemble(".entry main\nmain:\ndup\nmul\nhalt\n").Encode(),
+	}
+	publisher.Sign(square)
+	device.Eval("server", square, "main", []int64{12}, func(stack []int64, err error) {
+		must(err)
+		fmt.Printf("REV  remote evaluation of square(12): %v\n", stack)
+	})
+
+	// ---------------------------------------------------------------- MA
+	// A courier agent carries a message from device to server, migrating
+	// with captured execution state.
+	logmob.NewAgentPlatform(server, logmob.AgentEnv{Seed: 1})
+	devPlat := logmob.NewAgentPlatform(device, logmob.AgentEnv{Seed: 2})
+	server.OnMessage(func(from, topic string, data []byte) {
+		fmt.Printf("MA   agent %s delivered [%s]: %q\n", from, topic, data)
+	})
+	courier := &logmob.Unit{
+		Manifest: logmob.Manifest{
+			Name: "courier", Version: "1.0",
+			Kind: logmob.KindAgent, Publisher: "publisher",
+		},
+		Code: agent.CourierProgram.Encode(),
+		Data: agent.NewCourierData("server", "sms", []byte("meet at 8")),
+	}
+	publisher.SignCode(courier) // code-only: the agent's state mutates en route
+	if _, err := devPlat.SpawnUnit(courier, "main"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the virtual clock.
+	sim.RunFor(2 * time.Minute)
+
+	// What did the device's link cost?
+	usage := net.UsageOf("device")
+	fmt.Printf("\ndevice link: %d B sent, %d B received, $%.4f, %.1fs airtime\n",
+		usage.BytesSent, usage.BytesRecv, usage.Cost, usage.Airtime.Seconds())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package adapt executes application tasks through whichever mobile-code
+// paradigm the host's decider selects — the paper's "different mobile code
+// paradigms could be plugged-in dynamically and used when needed after
+// assessment of the environment and application", turned into an API.
+//
+// A TaskSpec describes one interaction both declaratively (the cost-model
+// Task: sizes, rounds, compute) and operationally (the service name, the
+// code unit, the arguments). Runner.Run asks the decider which paradigm fits
+// the current context and drives the corresponding kernel API:
+//
+//	CS  -> Host.Call           (one call per interaction round)
+//	REV -> Host.Eval           (ship the unit, run remotely once)
+//	COD -> Host.Ensure + RunComponent (fetch once, run locally per round)
+//	MA  -> agent spawn hook    (optional; applications supply the agent)
+package adapt
+
+import (
+	"errors"
+	"fmt"
+
+	"logmob/internal/core"
+	"logmob/internal/lmu"
+	"logmob/internal/policy"
+)
+
+// Errors returned by Run.
+var (
+	// ErrNoOperation reports a paradigm choice the spec cannot execute
+	// (e.g. the decider picked CS but no Service was given).
+	ErrNoOperation = errors.New("adapt: task spec cannot execute chosen paradigm")
+)
+
+// TaskSpec describes one task declaratively and operationally.
+type TaskSpec struct {
+	// Model feeds the decider's cost model.
+	Model policy.Task
+	// Remote is the host the task interacts with.
+	Remote string
+	// Service is the CS service name; each interaction round calls it once
+	// with Args encoded as one frame per value.
+	Service string
+	// Unit is the code unit used by REV (shipped) and COD (fetched; it must
+	// be published by Remote under its manifest name).
+	Unit *lmu.Unit
+	// Entry is the unit entry point.
+	Entry string
+	// Args are the per-round arguments.
+	Args []int64
+	// SpawnAgent, if set, handles the MA paradigm: it should launch the
+	// application's agent and eventually invoke the callback itself.
+	SpawnAgent func(done func(stack []int64, err error)) error
+	// Allowed restricts the decider's choice; empty allows what the spec
+	// can actually execute.
+	Allowed []policy.Paradigm
+}
+
+// executable returns the paradigms the spec has operations for.
+func (s *TaskSpec) executable() []policy.Paradigm {
+	var out []policy.Paradigm
+	if s.Service != "" {
+		out = append(out, policy.CS)
+	}
+	if s.Unit != nil {
+		out = append(out, policy.REV, policy.COD)
+	}
+	if s.SpawnAgent != nil {
+		out = append(out, policy.MA)
+	}
+	return out
+}
+
+// Outcome reports how a task was executed.
+type Outcome struct {
+	Paradigm policy.Paradigm
+	// Stack is the final VM stack (REV/COD/MA) — for CS, one decoded int64
+	// per reply frame when frames are 8 bytes, else nil.
+	Stack []int64
+	// Rounds is how many interaction rounds ran.
+	Rounds int64
+}
+
+// Runner executes TaskSpecs under a decider.
+type Runner struct {
+	host    *core.Host
+	decider policy.Decider
+	// Stats counts executions per paradigm.
+	stats map[policy.Paradigm]int64
+}
+
+// NewRunner builds a runner on h. A nil decider defaults to the cost model
+// with the default objective (traffic plus a latency term), so compute
+// placement influences the choice.
+func NewRunner(h *core.Host, d policy.Decider) *Runner {
+	if d == nil {
+		d = &policy.CostDecider{Objective: policy.DefaultObjective()}
+	}
+	return &Runner{host: h, decider: d, stats: make(map[policy.Paradigm]int64)}
+}
+
+// Executions returns how many tasks ran under each paradigm.
+func (r *Runner) Executions() map[policy.Paradigm]int64 {
+	out := make(map[policy.Paradigm]int64, len(r.stats))
+	for k, v := range r.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Choose returns the paradigm the runner would use for the spec right now,
+// without executing it.
+func (r *Runner) Choose(spec *TaskSpec) (policy.Paradigm, error) {
+	allowed := spec.Allowed
+	if len(allowed) == 0 {
+		allowed = spec.executable()
+	}
+	if len(allowed) == 0 {
+		return 0, fmt.Errorf("%w: no operations provided", ErrNoOperation)
+	}
+	// Intersect the decider's preference with what is executable.
+	executable := map[policy.Paradigm]bool{}
+	for _, p := range spec.executable() {
+		executable[p] = true
+	}
+	var usable []policy.Paradigm
+	for _, p := range allowed {
+		if executable[p] {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) == 0 {
+		return 0, fmt.Errorf("%w: allowed set has no executable paradigm", ErrNoOperation)
+	}
+	if cd, ok := r.decider.(*policy.CostDecider); ok {
+		restricted := *cd
+		restricted.Allowed = usable
+		return restricted.Choose(spec.Model, r.host.Context()), nil
+	}
+	chosen := r.decider.Choose(spec.Model, r.host.Context())
+	for _, p := range usable {
+		if p == chosen {
+			return chosen, nil
+		}
+	}
+	// The decider's pick is not executable; fall back to the first usable.
+	return usable[0], nil
+}
+
+// Run executes the task under the chosen paradigm. cb fires exactly once.
+func (r *Runner) Run(spec *TaskSpec, cb func(Outcome, error)) {
+	chosen, err := r.Choose(spec)
+	if err != nil {
+		cb(Outcome{}, err)
+		return
+	}
+	r.stats[chosen]++
+	switch chosen {
+	case policy.CS:
+		r.runCS(spec, cb)
+	case policy.REV:
+		r.runREV(spec, cb)
+	case policy.COD:
+		r.runCOD(spec, cb)
+	case policy.MA:
+		if err := spec.SpawnAgent(func(stack []int64, err error) {
+			if err != nil {
+				cb(Outcome{Paradigm: policy.MA}, err)
+				return
+			}
+			cb(Outcome{Paradigm: policy.MA, Stack: stack, Rounds: 1}, nil)
+		}); err != nil {
+			cb(Outcome{Paradigm: policy.MA}, err)
+		}
+	}
+}
+
+// runCS performs Model.Interactions sequential service calls.
+func (r *Runner) runCS(spec *TaskSpec, cb func(Outcome, error)) {
+	rounds := spec.Model.Interactions
+	if rounds <= 0 {
+		rounds = 1
+	}
+	args := encodeArgs(spec.Args)
+	var last []int64
+	var round func(i int64)
+	round = func(i int64) {
+		if i >= rounds {
+			cb(Outcome{Paradigm: policy.CS, Stack: last, Rounds: rounds}, nil)
+			return
+		}
+		r.host.Call(spec.Remote, spec.Service, args, func(results [][]byte, err error) {
+			if err != nil {
+				cb(Outcome{Paradigm: policy.CS, Rounds: i}, err)
+				return
+			}
+			last = decodeReplies(results)
+			round(i + 1)
+		})
+	}
+	round(0)
+}
+
+func (r *Runner) runREV(spec *TaskSpec, cb func(Outcome, error)) {
+	r.host.Eval(spec.Remote, spec.Unit, spec.Entry, spec.Args, func(stack []int64, err error) {
+		if err != nil {
+			cb(Outcome{Paradigm: policy.REV}, err)
+			return
+		}
+		cb(Outcome{Paradigm: policy.REV, Stack: stack, Rounds: 1}, nil)
+	})
+}
+
+// runCOD ensures the component locally, then runs every round on-device.
+func (r *Runner) runCOD(spec *TaskSpec, cb func(Outcome, error)) {
+	name := spec.Unit.Manifest.Name
+	r.host.Ensure(spec.Remote, name, spec.Unit.Manifest.Version, func(_ *lmu.Unit, _ bool, err error) {
+		if err != nil {
+			cb(Outcome{Paradigm: policy.COD}, err)
+			return
+		}
+		rounds := spec.Model.Interactions
+		if rounds <= 0 {
+			rounds = 1
+		}
+		var last []int64
+		for i := int64(0); i < rounds; i++ {
+			stack, err := r.host.RunComponent(name, spec.Entry, spec.Args...)
+			if err != nil {
+				cb(Outcome{Paradigm: policy.COD, Rounds: i}, err)
+				return
+			}
+			last = stack
+		}
+		cb(Outcome{Paradigm: policy.COD, Stack: last, Rounds: rounds}, nil)
+	})
+}
+
+// encodeArgs renders int64 args as 8-byte big-endian frames.
+func encodeArgs(args []int64) [][]byte {
+	out := make([][]byte, len(args))
+	for i, a := range args {
+		b := make([]byte, 8)
+		for j := 7; j >= 0; j-- {
+			b[j] = byte(a)
+			a >>= 8
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// decodeReplies parses 8-byte frames back to int64s; other frames are
+// skipped.
+func decodeReplies(frames [][]byte) []int64 {
+	var out []int64
+	for _, f := range frames {
+		if len(f) != 8 {
+			continue
+		}
+		var v int64
+		for _, c := range f {
+			v = v<<8 | int64(c)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// DecodeArgs is the service-side inverse of the runner's CS argument
+// encoding, for services meant to interoperate with adaptive clients.
+func DecodeArgs(frames [][]byte) []int64 { return decodeReplies(frames) }
+
+// EncodeReplies is the service-side inverse of the runner's CS reply
+// decoding.
+func EncodeReplies(values []int64) [][]byte { return encodeArgs(values) }

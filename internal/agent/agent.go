@@ -1,0 +1,380 @@
+// Package agent implements the mobile agent platform of logmob: the
+// middleware's Mobile Agent paradigm, where "an agent is an autonomous unit
+// of code that decides when and where to migrate".
+//
+// An agent is a Logical Mobility Unit of kind KindAgent: VM code, a data
+// space (destination, payload, bookkeeping) and, once it has run, a captured
+// VM execution state. Migration is strong: the platform snapshots the
+// machine mid-execution at a migration trap, ships the unit, and the
+// receiving platform resumes it exactly where it stopped — on the
+// instruction after the migrate call.
+//
+// The platform is the paper's "protected environment to host mobile
+// agents": arriving units are signature-verified by the kernel (code-only
+// signatures, so travelling state does not break them), executed under a
+// fuel budget with only the agent capability set, bounded in number, and
+// bounded in hop count.
+//
+// Concurrency: the platform runs agents inline on the goroutine that
+// delivers them (the simulator's event loop, or a TCP endpoint's reader
+// goroutine). It is designed for the single-goroutine simulator substrate;
+// hosting agents over the TCP transport with multiple peers requires
+// external serialisation of the kernel's agent handler.
+package agent
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"logmob/internal/core"
+	"logmob/internal/lmu"
+	"logmob/internal/vm"
+)
+
+// Trap codes used by the agent capability set.
+const (
+	// TrapMigrate suspends the machine for migration to the selected next
+	// host.
+	TrapMigrate int64 = 1
+	// TrapSleep suspends the machine for the number of milliseconds given
+	// to a_sleep.
+	TrapSleep int64 = 2
+)
+
+// Well-known data keys in an agent's data space. Keys starting with "_" are
+// platform bookkeeping.
+const (
+	// KeyDest is the agent's destination host name.
+	KeyDest = "dest"
+	// KeyTopic is the topic under which a_deliver hands over the payload.
+	KeyTopic = "topic"
+	// KeyPayload is the carried payload delivered by a_deliver.
+	KeyPayload = "payload"
+	// KeyItinerary is a wire-encoded string slice of host addresses for
+	// itinerary-driven agents (a_itin_count / a_itin_select).
+	KeyItinerary = "itinerary"
+
+	keyID    = "_id"
+	keyEntry = "_entry"
+	keyHops  = "_hops"
+	keyPrev  = "_prev"
+)
+
+// Status of a finished agent.
+type Status uint8
+
+// Agent outcomes.
+const (
+	// StatusCompleted means the agent halted normally.
+	StatusCompleted Status = iota + 1
+	// StatusFailed means a runtime error or fuel exhaustion killed it.
+	StatusFailed
+	// StatusDropped means the platform refused it (hop budget, capacity).
+	StatusDropped
+)
+
+// Record describes a finished agent, passed to the completion hook.
+type Record struct {
+	ID     string
+	Unit   *lmu.Unit
+	Stack  []int64
+	Hops   int64
+	Status Status
+	Detail string
+}
+
+// Stats counts platform activity.
+type Stats struct {
+	Spawned           int64
+	Arrived           int64
+	Migrations        int64
+	MigrationFailures int64
+	Deliveries        int64
+	Completed         int64
+	Failed            int64
+	Dropped           int64
+	Sleeping          int64
+}
+
+// Env configures the protected environment agents run in.
+type Env struct {
+	// MaxFuel is the instruction budget per activation (per visit to this
+	// host). Default 1e6.
+	MaxFuel int64
+	// MaxResident bounds agents concurrently sleeping on this host.
+	// Default 64.
+	MaxResident int
+	// MaxHops drops agents whose hop count exceeds it. 0 means 256.
+	MaxHops int64
+	// Seed seeds the platform's PRNG (used by a_rand and neighbor picks).
+	Seed int64
+	// OnDone, if set, observes every agent that finishes on this host.
+	OnDone func(Record)
+	// ExtraCaps, if set, contributes application host functions to every
+	// agent activation (e.g. a marketplace's price query). This is how a
+	// deployment extends the protected environment deliberately.
+	ExtraCaps func(p *Platform, u *lmu.Unit) []vm.HostFunc
+}
+
+// Platform hosts mobile agents on a kernel Host.
+type Platform struct {
+	host *core.Host
+	env  Env
+	rng  *rand.Rand
+
+	nextID   int64
+	resident int
+	stats    Stats
+}
+
+// NewPlatform attaches an agent runtime to h. The platform installs itself
+// as the host's agent handler.
+func NewPlatform(h *core.Host, env Env) *Platform {
+	if env.MaxFuel <= 0 {
+		env.MaxFuel = 1_000_000
+	}
+	if env.MaxResident <= 0 {
+		env.MaxResident = 64
+	}
+	if env.MaxHops <= 0 {
+		env.MaxHops = 256
+	}
+	p := &Platform{host: h, env: env, rng: rand.New(rand.NewSource(env.Seed))}
+	h.SetAgentHandler(p.onArrival)
+	return p
+}
+
+// Host returns the kernel host this platform runs on.
+func (p *Platform) Host() *core.Host { return p.host }
+
+// Stats returns a snapshot of the platform counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// Spawn creates an agent from prog with the given data space and starts it
+// locally at entry. It returns the agent's instance ID.
+func (p *Platform) Spawn(name string, prog *vm.Program, data map[string][]byte, entry string) (string, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	if _, ok := prog.Entries[entry]; !ok {
+		return "", fmt.Errorf("agent: program has no entry %q", entry)
+	}
+	p.nextID++
+	id := fmt.Sprintf("%s/%s#%d", p.host.Name(), name, p.nextID)
+	u := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: name, Version: "1.0", Kind: lmu.KindAgent},
+		Code:     prog.Encode(),
+		Data:     map[string][]byte{keyID: []byte(id), keyEntry: []byte(entry)},
+	}
+	for k, v := range data {
+		u.Data[k] = append([]byte(nil), v...)
+	}
+	p.stats.Spawned++
+	p.activate(u, 0)
+	return id, nil
+}
+
+// SpawnUnit starts a prebuilt (typically signed) agent unit locally. The
+// unit's data space gains the platform bookkeeping keys.
+func (p *Platform) SpawnUnit(u *lmu.Unit, entry string) (string, error) {
+	if u.Manifest.Kind != lmu.KindAgent {
+		return "", fmt.Errorf("agent: unit %s has kind %s, want agent", u.Manifest.Name, u.Manifest.Kind)
+	}
+	if entry == "" {
+		entry = "main"
+	}
+	p.nextID++
+	id := fmt.Sprintf("%s/%s#%d", p.host.Name(), u.Manifest.Name, p.nextID)
+	if u.Data == nil {
+		u.Data = make(map[string][]byte)
+	}
+	u.Data[keyID] = []byte(id)
+	u.Data[keyEntry] = []byte(entry)
+	p.stats.Spawned++
+	p.activate(u, 0)
+	return id, nil
+}
+
+// onArrival is the kernel's agent handler: admission control, then
+// activation.
+func (p *Platform) onArrival(from string, u *lmu.Unit, ack func(bool, string)) {
+	hops := dataCounter(u, keyHops) + 1
+	if hops > p.env.MaxHops {
+		p.stats.Dropped++
+		p.finish(u, nil, hops, StatusDropped, "hop budget exceeded")
+		ack(false, "hop budget exceeded")
+		return
+	}
+	if p.resident >= p.env.MaxResident {
+		p.stats.Dropped++
+		ack(false, "agent capacity exhausted")
+		return
+	}
+	setDataCounter(u, keyHops, hops)
+	p.stats.Arrived++
+	ack(true, "")
+	p.activate(u, hops)
+}
+
+// activation is one run of an agent on this host.
+type activation struct {
+	p       *Platform
+	unit    *lmu.Unit
+	m       *vm.Machine
+	hops    int64
+	next    string // migration target selected by host calls
+	sleepMs int64  // sleep duration requested by a_sleep
+}
+
+// activate builds a machine for the unit (fresh or restored) and drives it.
+func (p *Platform) activate(u *lmu.Unit, hops int64) {
+	prog, err := vm.DecodeProgram(u.Code)
+	if err != nil {
+		p.finish(u, nil, hops, StatusFailed, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	act := &activation{p: p, unit: u, hops: hops}
+	table := agentHostTable(act)
+	var m *vm.Machine
+	if len(u.State) > 0 {
+		m, err = vm.Restore(prog, table, p.env.MaxFuel, u.State)
+	} else {
+		m, err = vm.New(prog, table, p.env.MaxFuel)
+		if err == nil {
+			err = m.SetEntry(string(u.Data[keyEntry]))
+		}
+	}
+	if err != nil {
+		p.finish(u, nil, hops, StatusFailed, err.Error())
+		return
+	}
+	act.m = m
+	act.drive()
+}
+
+// drive runs the machine until it halts, migrates, sleeps or dies.
+func (a *activation) drive() {
+	for {
+		err := a.m.Run()
+		switch {
+		case err != nil:
+			a.p.stats.Failed++
+			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusFailed, err.Error())
+			return
+		case a.m.Status() == vm.StatusHalted:
+			a.p.stats.Completed++
+			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusCompleted, "")
+			return
+		case a.m.Status() == vm.StatusTrapped && a.m.TrapCode() == TrapMigrate:
+			if a.migrate() {
+				return // gone, or parked until the ack callback resumes us
+			}
+		case a.m.Status() == vm.StatusTrapped && a.m.TrapCode() == TrapSleep:
+			a.sleep()
+			return
+		default:
+			a.p.stats.Failed++
+			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusFailed,
+				fmt.Sprintf("unexpected machine status %v", a.m.Status()))
+			return
+		}
+	}
+}
+
+// migrate ships the agent to a.next. It returns false if the failure was
+// immediate and the machine should keep running here (with the migrate
+// result patched to 0).
+func (a *activation) migrate() bool {
+	dest := a.next
+	a.next = ""
+	if dest == "" || dest == a.p.host.Name() {
+		a.patchMigrateResult(0)
+		return false
+	}
+	// Capture state after the trap so the receiver resumes past the call
+	// with the optimistic result (1) on the stack.
+	a.unit.State = a.m.Snapshot()
+	a.unit.Data[keyPrev] = []byte(a.p.host.Name())
+	sent := a.unit.Clone()
+	a.p.stats.Migrations++
+	a.p.host.SendAgent(dest, sent, func(err error) {
+		if err == nil {
+			return // the agent now lives elsewhere
+		}
+		// Refused or timed out: resume the retained copy here, with the
+		// migrate call reporting failure.
+		a.p.stats.MigrationFailures++
+		prog, derr := vm.DecodeProgram(a.unit.Code)
+		if derr != nil {
+			a.p.finish(a.unit, nil, a.hops, StatusFailed, derr.Error())
+			return
+		}
+		m, rerr := vm.Restore(prog, agentHostTable(a), a.p.env.MaxFuel, a.unit.State)
+		if rerr != nil {
+			a.p.finish(a.unit, nil, a.hops, StatusFailed, rerr.Error())
+			return
+		}
+		a.m = m
+		a.patchMigrateResult(0)
+		a.drive()
+	})
+	return true
+}
+
+// patchMigrateResult replaces the optimistic migrate result on top of the
+// stack.
+func (a *activation) patchMigrateResult(v int64) {
+	if _, err := a.m.Pop(); err == nil {
+		a.m.Push(v)
+	}
+}
+
+// sleep parks the agent and resumes it after the requested delay.
+func (a *activation) sleep() {
+	ms := a.sleepMs
+	a.sleepMs = 0
+	if ms < 0 {
+		ms = 0
+	}
+	a.p.resident++
+	a.p.stats.Sleeping++
+	a.p.host.Scheduler().After(time.Duration(ms)*time.Millisecond, func() {
+		a.p.resident--
+		a.m.Refuel(a.p.env.MaxFuel - a.m.Fuel())
+		a.drive()
+	})
+}
+
+// finish reports a terminal agent outcome.
+func (p *Platform) finish(u *lmu.Unit, stack []int64, hops int64, status Status, detail string) {
+	if p.env.OnDone != nil {
+		p.env.OnDone(Record{
+			ID:     string(u.Data[keyID]),
+			Unit:   u,
+			Stack:  stack,
+			Hops:   hops,
+			Status: status,
+			Detail: detail,
+		})
+	}
+}
+
+// dataCounter reads an 8-byte big-endian counter from the data space.
+func dataCounter(u *lmu.Unit, key string) int64 {
+	b := u.Data[key]
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func setDataCounter(u *lmu.Unit, key string, v int64) {
+	if u.Data == nil {
+		u.Data = make(map[string][]byte)
+	}
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	u.Data[key] = b
+}

@@ -1,0 +1,177 @@
+package agent
+
+import (
+	"logmob/internal/core"
+	"logmob/internal/vm"
+)
+
+// agentHostTable builds the capability set granted to agents: the base
+// component capabilities plus mobility, delivery and environment sensing.
+// Each activation gets a fresh table bound to it, so a capability can never
+// outlive or leak across agents.
+//
+// Capabilities:
+//
+//	a_at_dest() -> 0/1        is this host the agent's destination?
+//	a_select_toward_dest()    pick the next hop (the destination if adjacent,
+//	                          else a random neighbor, avoiding the previous
+//	                          host when possible); returns 1 if one was found
+//	a_select_blob(i)          set the next hop from data blob i; returns 0/1
+//	a_migrate()               migrate to the selected hop; returns 1 on the
+//	                          new host, 0 here if migration failed
+//	a_sleep(ms)               suspend for ms milliseconds
+//	a_deliver() -> 1          deliver Data[payload] under Data[topic] to the
+//	                          current host's message handlers
+//	a_rand(n) -> [0,n)        platform randomness
+//	a_hops() -> n             hop count so far
+//	a_neighbors() -> n        current one-hop neighbor count
+//
+// plus blob_count/blob_len/blob_byte/now_ms/log from the base table.
+func agentHostTable(act *activation) *vm.HostTable {
+	p := act.p
+	t := core.BaseHostTable(p.host, act.unit)
+
+	t.Register(vm.HostFunc{
+		Name: "a_at_dest", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			at := p.host.Name() == string(act.unit.Data[KeyDest])
+			return []int64{b2i(at)}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_neighbors", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			return []int64{int64(len(p.host.Neighbors()))}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_select_toward_dest", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			next := p.pickNeighbor(string(act.unit.Data[KeyDest]), string(act.unit.Data[keyPrev]))
+			if next == "" {
+				return []int64{0}, 0, nil
+			}
+			act.next = next
+			return []int64{1}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_select_blob", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			keys := act.unit.DataKeys()
+			if args[0] < 0 || args[0] >= int64(len(keys)) {
+				return []int64{0}, 0, nil
+			}
+			act.next = string(act.unit.Data[keys[args[0]]])
+			return []int64{1}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_migrate", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			// Optimistically report success; the platform patches this to 0
+			// if the transfer fails and the agent resumes locally.
+			return []int64{1}, TrapMigrate, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_sleep", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			act.sleepMs = args[0]
+			return nil, TrapSleep, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_deliver", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			p.stats.Deliveries++
+			p.host.DeliverLocal(
+				string(act.unit.Data[keyID]),
+				string(act.unit.Data[KeyTopic]),
+				act.unit.Data[KeyPayload],
+			)
+			return []int64{1}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_rand", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			if args[0] <= 0 {
+				return []int64{0}, 0, nil
+			}
+			return []int64{p.rng.Int63n(args[0])}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_hops", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			return []int64{act.hops}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_select_dest", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			dest := string(act.unit.Data[KeyDest])
+			if dest == "" {
+				return []int64{0}, 0, nil
+			}
+			act.next = dest
+			return []int64{1}, 0, nil
+		},
+	})
+
+	// Itinerary support: a wire-encoded string slice under KeyItinerary.
+	itinerary := DecodeItinerary(act.unit.Data[KeyItinerary])
+	t.Register(vm.HostFunc{
+		Name: "a_itin_count", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			return []int64{int64(len(itinerary))}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "a_itin_select", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			if args[0] < 0 || args[0] >= int64(len(itinerary)) {
+				return []int64{0}, 0, nil
+			}
+			act.next = itinerary[args[0]]
+			return []int64{1}, 0, nil
+		},
+	})
+
+	if p.env.ExtraCaps != nil {
+		for _, fn := range p.env.ExtraCaps(p, act.unit) {
+			t.Register(fn)
+		}
+	}
+	return t
+}
+
+// pickNeighbor chooses the next hop: the destination if directly reachable,
+// otherwise a random neighbor, avoiding prev unless it is the only option.
+func (p *Platform) pickNeighbor(dest, prev string) string {
+	neighbors := p.host.Neighbors()
+	if len(neighbors) == 0 {
+		return ""
+	}
+	candidates := make([]string, 0, len(neighbors))
+	for _, n := range neighbors {
+		if n == dest {
+			return dest
+		}
+		if n != prev {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = neighbors // only way back is through prev
+	}
+	return candidates[p.rng.Intn(len(candidates))]
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

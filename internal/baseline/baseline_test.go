@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"logmob/internal/lmu"
+	"logmob/internal/netsim"
+	"logmob/internal/registry"
+)
+
+func unit(name string, payload int) *lmu.Unit {
+	return &lmu.Unit{
+		Manifest: lmu.Manifest{Name: name, Version: "1.0", Kind: lmu.KindComponent},
+		Code:     make([]byte, payload),
+	}
+}
+
+func TestPreloadAllFit(t *testing.T) {
+	reg := registry.New(0)
+	res := Preload(reg, []*lmu.Unit{unit("a", 100), unit("b", 200)})
+	if res.Installed != 2 || len(res.RejectedUnits) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Footprint != reg.Used() || res.Footprint == 0 {
+		t.Errorf("Footprint = %d", res.Footprint)
+	}
+}
+
+func TestPreloadOverflow(t *testing.T) {
+	small := unit("a", 100)
+	reg := registry.New(int64(small.Size()) + 10)
+	res := Preload(reg, []*lmu.Unit{unit("a", 100), unit("b", 100), unit("c", 100)})
+	if res.Installed != 1 {
+		t.Errorf("Installed = %d, want 1", res.Installed)
+	}
+	if len(res.RejectedUnits) != 2 {
+		t.Errorf("Rejected = %v", res.RejectedUnits)
+	}
+	// Preloaded units are pinned: nothing can evict them.
+	if err := reg.Put(unit("d", 100)); err == nil {
+		t.Error("pinned preload was evicted by a later Put")
+	}
+}
+
+func TestMessengerDeliversWhenConnected(t *testing.T) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	c := netsim.AdHoc
+	c.Loss = 0
+	net.AddNode("a", netsim.Position{X: 0, Y: 0}, c)
+	net.AddNode("m", netsim.Position{X: 25, Y: 0}, c)
+	net.AddNode("b", netsim.Position{X: 50, Y: 0}, c)
+	arrived := false
+	net.SetHandler("b", func(string, []byte) { arrived = true })
+
+	m := NewMessenger(net)
+	var out MessageOutcome
+	m.Send("a", "b", []byte("x"), func(o MessageOutcome) { out = o })
+	sim.RunFor(time.Minute)
+	if !out.Delivered || out.Hops != 2 || out.Attempts != 1 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if !arrived {
+		t.Error("payload never arrived")
+	}
+}
+
+func TestMessengerRetriesThroughPartition(t *testing.T) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	c := netsim.AdHoc
+	c.Loss = 0
+	net.AddNode("a", netsim.Position{X: 0, Y: 0}, c)
+	net.AddNode("b", netsim.Position{X: 500, Y: 0}, c)
+	net.SetHandler("b", func(string, []byte) {})
+
+	m := NewMessenger(net)
+	m.Deadline = time.Minute
+	var out MessageOutcome
+	m.Send("a", "b", []byte("x"), func(o MessageOutcome) { out = o })
+	// Heal the partition at t=10s by walking b into range.
+	sim.Schedule(10*time.Second, func() {
+		net.Node("b").Pos = netsim.Position{X: 20, Y: 0}
+	})
+	sim.RunFor(2 * time.Minute)
+	if !out.Delivered {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Attempts < 2 {
+		t.Errorf("Attempts = %d, want retries", out.Attempts)
+	}
+	if out.DeliveredAt < 10*time.Second {
+		t.Errorf("DeliveredAt = %v, before partition healed", out.DeliveredAt)
+	}
+}
+
+func TestMessengerGivesUpAtDeadline(t *testing.T) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	c := netsim.AdHoc
+	c.Loss = 0
+	net.AddNode("a", netsim.Position{X: 0, Y: 0}, c)
+	net.AddNode("b", netsim.Position{X: 500, Y: 0}, c)
+	m := NewMessenger(net)
+	m.Deadline = 10 * time.Second
+	var out MessageOutcome
+	fired := 0
+	m.Send("a", "b", []byte("x"), func(o MessageOutcome) { out = o; fired++ })
+	sim.RunFor(time.Minute)
+	if fired != 1 {
+		t.Fatalf("done fired %d times", fired)
+	}
+	if out.Delivered {
+		t.Error("claimed delivery through a permanent partition")
+	}
+	if out.Attempts < 5 {
+		t.Errorf("Attempts = %d", out.Attempts)
+	}
+}
+
+func TestSendUntilConfirmedSurvivesLoss(t *testing.T) {
+	sim := netsim.NewSim(5)
+	net := netsim.NewNetwork(sim)
+	lossy := netsim.AdHoc
+	lossy.Loss = 0.95 // very lossy link: one-shot almost always fails
+	net.AddNode("a", netsim.Position{X: 0, Y: 0}, lossy)
+	net.AddNode("b", netsim.Position{X: 10, Y: 0}, lossy)
+	got := false
+	net.SetHandler("b", func(string, []byte) { got = true })
+
+	m := NewMessenger(net)
+	m.Deadline = 5 * time.Minute
+	var out MessageOutcome
+	m.SendUntilConfirmed("a", "b", []byte("x"), func() bool { return got }, func(o MessageOutcome) { out = o })
+	sim.RunFor(10 * time.Minute)
+	if !out.Delivered {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Attempts < 2 {
+		t.Errorf("Attempts = %d, expected retransmissions over lossy link", out.Attempts)
+	}
+}

@@ -1,0 +1,418 @@
+// Package core implements the logmob middleware kernel: the per-device
+// runtime that ties the substrates together and exposes the four mobile-code
+// paradigms the paper adopts from Fuggetta, Picco and Vigna:
+//
+//   - Client/Server: RegisterService / Call
+//   - Remote Evaluation: Eval (ship a code unit, get its results)
+//   - Code On Demand: Publish / Fetch / RunComponent
+//   - Mobile Agents: SendAgent plus an agent runtime plugged in by
+//     internal/agent
+//
+// A Host is the paper's "protected environment": every foreign unit is
+// verified against the host's trust store and policy before it touches the
+// registry or the VM, foreign code runs fuel-metered with only the host
+// capabilities the host grants, and everything is recorded in an audit log.
+//
+// The kernel is callback-based so the same code runs over the deterministic
+// simulator (handlers fire inside the event loop) and over real TCP
+// (handlers fire on reader goroutines); a mutex serialises kernel state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"logmob/internal/ctxsvc"
+	"logmob/internal/lmu"
+	"logmob/internal/registry"
+	"logmob/internal/security"
+	"logmob/internal/transport"
+	"logmob/internal/vm"
+)
+
+// Kernel errors.
+var (
+	// ErrTimeout reports that a remote host did not answer in time.
+	ErrTimeout = errors.New("core: request timed out")
+	// ErrNoService reports a Call for a service the remote does not offer.
+	ErrNoService = errors.New("core: no such service")
+	// ErrRefused reports that the remote's policy refused the operation.
+	ErrRefused = errors.New("core: operation refused by remote policy")
+	// ErrNotFound reports a Fetch for a unit the remote does not publish.
+	ErrNotFound = errors.New("core: unit not published by remote")
+	// ErrRemote wraps an error string reported by the remote host.
+	ErrRemote = errors.New("core: remote error")
+)
+
+// ServiceFunc implements a Client/Server service. It receives opaque
+// argument frames and returns reply frames.
+type ServiceFunc func(from string, args [][]byte) ([][]byte, error)
+
+// AgentHandler is installed by the agent runtime to receive verified
+// incoming agents. ack must be called exactly once to confirm or refuse the
+// transfer back to the sender.
+type AgentHandler func(from string, unit *lmu.Unit, ack func(accepted bool, reason string))
+
+// MessageHandler receives application-level messages (e.g. a courier
+// agent delivering its payload).
+type MessageHandler func(from, topic string, data []byte)
+
+// AuditEvent records one security-relevant kernel event.
+type AuditEvent struct {
+	At      time.Duration
+	Kind    string // "call", "eval", "fetch", "agent", "verify-fail", ...
+	Peer    string
+	Subject string
+	OK      bool
+	Detail  string
+}
+
+// Stats counts kernel activity, for experiment tables.
+type Stats struct {
+	CallsSent, CallsServed   int64
+	EvalsSent, EvalsServed   int64
+	FetchesSent, FetchesOK   int64
+	FetchesServed            int64
+	AgentsSent, AgentsIn     int64
+	AgentsRefused            int64
+	VerifyFailures           int64
+	Timeouts                 int64
+	MessagesIn, MessagesSent int64
+}
+
+// Config assembles a Host. Endpoint and Scheduler are required; everything
+// else has working defaults.
+type Config struct {
+	// Name labels the host in logs and tables; defaults to Endpoint.Addr().
+	Name string
+	// Endpoint is the host's transport endpoint. The Host muxes it; use
+	// Host.Mux to attach other channels (discovery) to the same endpoint.
+	Endpoint transport.Endpoint
+	// Scheduler provides time and timers (virtual or wall-clock).
+	Scheduler transport.Scheduler
+	// Registry is the local component store; default unlimited with LRU.
+	Registry *registry.Registry
+	// Context is the host's context service; default fresh.
+	Context *ctxsvc.Service
+	// Trust is the signature trust store; default empty.
+	Trust *security.TrustStore
+	// Policy governs acceptance of foreign units; default requires
+	// signatures from trusted signers.
+	Policy security.Policy
+	// ServeEval enables execution of incoming Remote Evaluation requests.
+	ServeEval bool
+	// EvalFuel bounds each foreign evaluation; default 1e6 instructions.
+	EvalFuel int64
+	// ComputeRate models the host's CPU speed as VM instructions per second
+	// of (virtual) time: eval replies are delayed by steps/ComputeRate.
+	// 0 means computation is instantaneous. Only meaningful over the
+	// simulator, where experiments measure end-to-end offload time.
+	ComputeRate float64
+	// RequestTimeout bounds Call/Eval/Fetch waits; default 10s.
+	RequestTimeout time.Duration
+	// AuditCap bounds the audit ring; default 256 events.
+	AuditCap int
+}
+
+// Host is one device's middleware kernel.
+type Host struct {
+	name  string
+	mux   *transport.Mux
+	kch   transport.Endpoint // kernel channel
+	sched transport.Scheduler
+	reg   *registry.Registry
+	ctx   *ctxsvc.Service
+	trust *security.TrustStore
+	pol   security.Policy
+
+	serveEval      bool
+	evalFuel       int64
+	computeRate    float64
+	requestTimeout time.Duration
+	auditCap       int
+
+	mu           sync.Mutex
+	services     map[string]ServiceFunc
+	published    map[string]bool // name -> fetchable
+	pending      map[uint64]*pendingReq
+	nextReq      uint64
+	agentHandler AgentHandler
+	msgHandlers  []MessageHandler
+	evalHost     func(h *Host, u *lmu.Unit) *vm.HostTable
+	audit        []AuditEvent
+	auditNext    int
+	stats        Stats
+	closed       bool
+}
+
+type pendingReq struct {
+	// peer is the address the request was sent to; replies from anyone
+	// else are ignored (a peer cannot answer another peer's request).
+	peer   string
+	cb     func(ok bool, errMsg string, payload *reader)
+	cancel func()
+}
+
+// NewHost builds a kernel from cfg.
+func NewHost(cfg Config) (*Host, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: Config.Endpoint is required")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("core: Config.Scheduler is required")
+	}
+	h := &Host{
+		name:           cfg.Name,
+		sched:          cfg.Scheduler,
+		reg:            cfg.Registry,
+		ctx:            cfg.Context,
+		trust:          cfg.Trust,
+		pol:            cfg.Policy,
+		serveEval:      cfg.ServeEval,
+		evalFuel:       cfg.EvalFuel,
+		computeRate:    cfg.ComputeRate,
+		requestTimeout: cfg.RequestTimeout,
+		auditCap:       cfg.AuditCap,
+		services:       make(map[string]ServiceFunc),
+		published:      make(map[string]bool),
+		pending:        make(map[uint64]*pendingReq),
+	}
+	if h.name == "" {
+		h.name = cfg.Endpoint.Addr()
+	}
+	if h.reg == nil {
+		h.reg = registry.New(0, registry.WithClock(cfg.Scheduler.Now))
+	}
+	if h.ctx == nil {
+		h.ctx = ctxsvc.New(cfg.Scheduler.Now, 0)
+	}
+	if h.trust == nil {
+		h.trust = security.NewTrustStore()
+	}
+	if h.evalFuel <= 0 {
+		h.evalFuel = 1_000_000
+	}
+	if h.requestTimeout <= 0 {
+		h.requestTimeout = 10 * time.Second
+	}
+	if h.auditCap <= 0 {
+		h.auditCap = 256
+	}
+	h.evalHost = defaultEvalHostTable
+	h.mux = transport.NewMux(cfg.Endpoint)
+	h.kch = h.mux.Channel(transport.ChanKernel)
+	h.kch.SetHandler(h.handle)
+	return h, nil
+}
+
+// Name returns the host's display name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's transport address.
+func (h *Host) Addr() string { return h.kch.Addr() }
+
+// Mux exposes the host's endpoint mux so other subsystems (discovery) can
+// attach their channels.
+func (h *Host) Mux() *transport.Mux { return h.mux }
+
+// Scheduler returns the host's time source.
+func (h *Host) Scheduler() transport.Scheduler { return h.sched }
+
+// Registry returns the host's component store.
+func (h *Host) Registry() *registry.Registry { return h.reg }
+
+// Context returns the host's context service.
+func (h *Host) Context() *ctxsvc.Service { return h.ctx }
+
+// Trust returns the host's trust store.
+func (h *Host) Trust() *security.TrustStore { return h.trust }
+
+// Neighbors lists addresses reachable in one hop.
+func (h *Host) Neighbors() []string { return h.kch.Neighbors() }
+
+// Stats returns a snapshot of the kernel counters.
+func (h *Host) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Audit returns the retained audit events, oldest first.
+func (h *Host) Audit() []AuditEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]AuditEvent, 0, len(h.audit))
+	// audit is a ring; auditNext is the oldest slot once full.
+	if len(h.audit) == h.auditCap {
+		out = append(out, h.audit[h.auditNext:]...)
+		out = append(out, h.audit[:h.auditNext]...)
+		return out
+	}
+	return append(out, h.audit...)
+}
+
+// record appends an audit event. Caller must hold h.mu.
+func (h *Host) record(kind, peer, subject string, ok bool, detail string) {
+	ev := AuditEvent{At: h.sched.Now(), Kind: kind, Peer: peer, Subject: subject, OK: ok, Detail: detail}
+	if len(h.audit) < h.auditCap {
+		h.audit = append(h.audit, ev)
+		return
+	}
+	h.audit[h.auditNext] = ev
+	h.auditNext = (h.auditNext + 1) % h.auditCap
+}
+
+// Close detaches the kernel from its endpoint and fails all pending
+// requests.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	pending := h.pending
+	h.pending = make(map[uint64]*pendingReq)
+	h.mu.Unlock()
+	for _, p := range pending {
+		p.cancel()
+		p.cb(false, "host closed", nil)
+	}
+	return h.kch.Close()
+}
+
+// RegisterService offers a Client/Server service under name.
+func (h *Host) RegisterService(name string, fn ServiceFunc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.services[name] = fn
+}
+
+// UnregisterService withdraws a service.
+func (h *Host) UnregisterService(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.services, name)
+}
+
+// OnMessage registers a handler for application-level messages.
+func (h *Host) OnMessage(fn MessageHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.msgHandlers = append(h.msgHandlers, fn)
+}
+
+// SetAgentHandler installs the agent runtime's arrival hook.
+func (h *Host) SetAgentHandler(fn AgentHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.agentHandler = fn
+}
+
+// SetEvalHostTable overrides the capability table granted to Remote
+// Evaluation requests. The builder runs per request.
+func (h *Host) SetEvalHostTable(build func(h *Host, u *lmu.Unit) *vm.HostTable) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.evalHost = build
+}
+
+// Publish makes a unit available for Fetch (Code On Demand, server side).
+// The unit is pinned in the registry so local eviction never unpublishes it.
+func (h *Host) Publish(u *lmu.Unit) error {
+	if err := h.reg.Put(u); err != nil {
+		return fmt.Errorf("core: publish %s: %w", u.Manifest.Name, err)
+	}
+	h.reg.Pin(u.Manifest.Name, u.Manifest.Version, true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.published[u.Manifest.Name] = true
+	return nil
+}
+
+// Unpublish withdraws a name from Fetch service (stored versions remain in
+// the registry but are no longer served).
+func (h *Host) Unpublish(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.published, name)
+}
+
+// Published returns the names currently served to Fetch requests, sorted.
+func (h *Host) Published() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.published))
+	for name := range h.published {
+		out = append(out, name)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// verify checks a foreign unit under the host's policy, with accounting.
+func (h *Host) verify(kind, from string, u *lmu.Unit) error {
+	err := security.Verify(u, h.trust, h.pol)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.stats.VerifyFailures++
+		h.record("verify-fail", from, u.Manifest.Name, false, err.Error())
+		return err
+	}
+	h.record(kind, from, u.Manifest.Name, true, "")
+	return nil
+}
+
+// RunComponent executes an entry point of a locally stored component with
+// the host's default capability table. This is the local half of Code On
+// Demand: fetch once, then run on the device. It returns the machine's final
+// stack.
+func (h *Host) RunComponent(name, entry string, args ...int64) ([]int64, error) {
+	u, ok := h.reg.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("core: component %s: %w", name, registry.ErrNotFound)
+	}
+	stack, _, err := h.runUnit(u, entry, args)
+	return stack, err
+}
+
+// RunComponentSteps is RunComponent also reporting the VM instruction count,
+// which experiments combine with a CPU rate to model local compute time.
+func (h *Host) RunComponentSteps(name, entry string, args ...int64) ([]int64, int64, error) {
+	u, ok := h.reg.Get(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: component %s: %w", name, registry.ErrNotFound)
+	}
+	return h.runUnit(u, entry, args)
+}
+
+func (h *Host) runUnit(u *lmu.Unit, entry string, args []int64) ([]int64, int64, error) {
+	prog, err := vm.DecodeProgram(u.Code)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+	}
+	h.mu.Lock()
+	build := h.evalHost
+	h.mu.Unlock()
+	m, err := vm.New(prog, build(h, u), h.evalFuel)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+	}
+	if err := m.SetEntry(entry, args...); err != nil {
+		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+	}
+	if err := m.Run(); err != nil {
+		return nil, m.Steps, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+	}
+	if m.Status() == vm.StatusTrapped {
+		return nil, m.Steps, fmt.Errorf("core: component %s trapped (code %d): traps are only valid for agents", u.Manifest.Name, m.TrapCode())
+	}
+	return m.Stack(), m.Steps, nil
+}

@@ -1,0 +1,629 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/lmu"
+	"logmob/internal/vm"
+	"logmob/internal/wire"
+)
+
+// reader aliases the wire decoder for the pendingReq callback signature.
+type reader = wire.Reader
+
+// Kernel protocol message types.
+const (
+	msgCall byte = iota + 1
+	msgCallReply
+	msgEval
+	msgEvalReply
+	msgFetch
+	msgFetchReply
+	msgAgent
+	msgAgentAck
+	msgUser
+)
+
+// newRequest allocates a request ID and registers its reply callback with a
+// timeout. The callback fires exactly once.
+func (h *Host) newRequest(peer string, cb func(ok bool, errMsg string, payload *reader)) uint64 {
+	h.mu.Lock()
+	h.nextReq++
+	id := h.nextReq
+	p := &pendingReq{peer: peer, cb: cb}
+	p.cancel = h.sched.After(h.requestTimeout, func() {
+		h.mu.Lock()
+		_, live := h.pending[id]
+		if live {
+			delete(h.pending, id)
+			h.stats.Timeouts++
+		}
+		h.mu.Unlock()
+		if live {
+			cb(false, ErrTimeout.Error(), nil)
+		}
+	})
+	h.pending[id] = p
+	h.mu.Unlock()
+	return id
+}
+
+// resolve completes a pending request with the remote's reply. Replies are
+// accepted only from the peer the request was sent to.
+func (h *Host) resolve(from string, id uint64, ok bool, errMsg string, payload *reader) {
+	h.mu.Lock()
+	p, live := h.pending[id]
+	if live && p.peer != from {
+		h.record("forged-reply", from, "", false, "reply from wrong peer")
+		h.mu.Unlock()
+		return
+	}
+	if live {
+		delete(h.pending, id)
+	}
+	h.mu.Unlock()
+	if !live {
+		return // duplicate or post-timeout reply
+	}
+	p.cancel()
+	p.cb(ok, errMsg, payload)
+}
+
+// abandon cancels a pending request without invoking its callback, for use
+// on the send-failure path where the caller reports the error itself.
+func (h *Host) abandon(id uint64) {
+	h.mu.Lock()
+	p, live := h.pending[id]
+	if live {
+		delete(h.pending, id)
+	}
+	h.mu.Unlock()
+	if live {
+		p.cancel()
+	}
+}
+
+// remoteErr converts a reply's error string into a kernel error.
+func remoteErr(msg string) error {
+	switch msg {
+	case ErrTimeout.Error():
+		return ErrTimeout
+	case ErrNoService.Error():
+		return ErrNoService
+	case ErrRefused.Error():
+		return ErrRefused
+	case ErrNotFound.Error():
+		return ErrNotFound
+	case "":
+		return ErrRemote
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}
+
+// Call invokes a Client/Server service on the host at to. cb receives the
+// reply frames or an error; it fires exactly once.
+func (h *Host) Call(to, service string, args [][]byte, cb func(results [][]byte, err error)) {
+	h.mu.Lock()
+	h.stats.CallsSent++
+	h.mu.Unlock()
+	id := h.newRequest(to, func(ok bool, errMsg string, r *reader) {
+		if !ok {
+			cb(nil, remoteErr(errMsg))
+			return
+		}
+		n := r.Uint()
+		results := make([][]byte, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			results = append(results, r.Bytes())
+		}
+		if r.Err() != nil {
+			cb(nil, fmt.Errorf("core: malformed call reply: %w", r.Err()))
+			return
+		}
+		cb(results, nil)
+	})
+	var b wire.Buffer
+	b.PutByte(msgCall)
+	b.PutUint(id)
+	b.PutString(service)
+	b.PutUint(uint64(len(args)))
+	for _, a := range args {
+		b.PutBytes(a)
+	}
+	if err := h.kch.Send(to, b.Bytes()); err != nil {
+		h.abandon(id)
+		cb(nil, fmt.Errorf("core: call %s at %s: %w", service, to, err))
+	}
+}
+
+// Eval ships a code unit to the host at to for Remote Evaluation and returns
+// the final VM stack of the named entry point. The unit should be signed
+// acceptably for the remote's policy.
+func (h *Host) Eval(to string, unit *lmu.Unit, entry string, args []int64, cb func(stack []int64, err error)) {
+	h.mu.Lock()
+	h.stats.EvalsSent++
+	h.mu.Unlock()
+	id := h.newRequest(to, func(ok bool, errMsg string, r *reader) {
+		if !ok {
+			cb(nil, remoteErr(errMsg))
+			return
+		}
+		n := r.Uint()
+		stack := make([]int64, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			stack = append(stack, r.Int())
+		}
+		if r.Err() != nil {
+			cb(nil, fmt.Errorf("core: malformed eval reply: %w", r.Err()))
+			return
+		}
+		cb(stack, nil)
+	})
+	var b wire.Buffer
+	b.PutByte(msgEval)
+	b.PutUint(id)
+	b.PutBytes(unit.Pack())
+	b.PutString(entry)
+	b.PutUint(uint64(len(args)))
+	for _, a := range args {
+		b.PutInt(a)
+	}
+	if err := h.kch.Send(to, b.Bytes()); err != nil {
+		h.abandon(id)
+		cb(nil, fmt.Errorf("core: eval at %s: %w", to, err))
+	}
+}
+
+// Fetch retrieves a published unit from the host at from (Code On Demand).
+// On success the unit has been verified and stored in the local registry.
+func (h *Host) Fetch(from, name, minVersion string, cb func(u *lmu.Unit, err error)) {
+	h.mu.Lock()
+	h.stats.FetchesSent++
+	h.mu.Unlock()
+	id := h.newRequest(from, func(ok bool, errMsg string, r *reader) {
+		if !ok {
+			cb(nil, remoteErr(errMsg))
+			return
+		}
+		packed := r.Bytes()
+		if r.Err() != nil {
+			cb(nil, fmt.Errorf("core: malformed fetch reply: %w", r.Err()))
+			return
+		}
+		u, err := lmu.Unpack(packed)
+		if err != nil {
+			cb(nil, fmt.Errorf("core: fetched unit: %w", err))
+			return
+		}
+		if err := h.verify("fetch-in", from, u); err != nil {
+			cb(nil, err)
+			return
+		}
+		if err := h.reg.Put(u); err != nil {
+			cb(nil, fmt.Errorf("core: store fetched unit: %w", err))
+			return
+		}
+		h.mu.Lock()
+		h.stats.FetchesOK++
+		h.mu.Unlock()
+		cb(u, nil)
+	})
+	var b wire.Buffer
+	b.PutByte(msgFetch)
+	b.PutUint(id)
+	b.PutString(name)
+	b.PutString(minVersion)
+	if err := h.kch.Send(from, b.Bytes()); err != nil {
+		h.abandon(id)
+		cb(nil, fmt.Errorf("core: fetch %s from %s: %w", name, from, err))
+	}
+}
+
+// Ensure fetches name from remote only if no satisfying version is already
+// stored locally, then returns the local unit. This is the COD fast path:
+// cache hits cost no traffic.
+func (h *Host) Ensure(remote, name, minVersion string, cb func(u *lmu.Unit, hit bool, err error)) {
+	if u, ok := h.reg.GetAtLeast(name, minVersion); ok {
+		cb(u, true, nil)
+		return
+	}
+	h.Fetch(remote, name, minVersion, func(u *lmu.Unit, err error) {
+		cb(u, false, err)
+	})
+}
+
+// EnsureWithDeps ensures name and, recursively, every component in its
+// dependency closure, fetching whatever is missing from the same remote. cb
+// fires once, after the whole closure is locally resolvable (or with the
+// first error). This is how a fetched component that builds on other
+// components becomes runnable on arrival.
+func (h *Host) EnsureWithDeps(remote, name, minVersion string, cb func(u *lmu.Unit, err error)) {
+	h.Ensure(remote, name, minVersion, func(u *lmu.Unit, _ bool, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		h.ensureDeps(remote, u.Manifest.Deps, make(map[string]bool), func(err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			cb(u, nil)
+		})
+	})
+}
+
+// ensureDeps fetches missing dependencies depth-first, sequentially, cycle-
+// safe via visited.
+func (h *Host) ensureDeps(remote string, deps []lmu.Dep, visited map[string]bool, cb func(error)) {
+	if len(deps) == 0 {
+		cb(nil)
+		return
+	}
+	d := deps[0]
+	rest := deps[1:]
+	if visited[d.Name] {
+		h.ensureDeps(remote, rest, visited, cb)
+		return
+	}
+	visited[d.Name] = true
+	h.Ensure(remote, d.Name, d.MinVersion, func(u *lmu.Unit, _ bool, err error) {
+		if err != nil {
+			cb(fmt.Errorf("core: dependency %s: %w", d.Name, err))
+			return
+		}
+		h.ensureDeps(remote, u.Manifest.Deps, visited, func(err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			h.ensureDeps(remote, rest, visited, cb)
+		})
+	})
+}
+
+// SendAgent transfers an agent unit to the host at to. cb reports whether
+// the receiver accepted it; on acceptance the local copy should be
+// considered moved.
+func (h *Host) SendAgent(to string, unit *lmu.Unit, cb func(err error)) {
+	h.mu.Lock()
+	h.stats.AgentsSent++
+	h.mu.Unlock()
+	id := h.newRequest(to, func(ok bool, errMsg string, r *reader) {
+		if !ok {
+			cb(remoteErr(errMsg))
+			return
+		}
+		cb(nil)
+	})
+	var b wire.Buffer
+	b.PutByte(msgAgent)
+	b.PutUint(id)
+	b.PutBytes(unit.Pack())
+	if err := h.kch.Send(to, b.Bytes()); err != nil {
+		h.abandon(id)
+		cb(fmt.Errorf("core: send agent to %s: %w", to, err))
+	}
+}
+
+// SendMessage delivers an application-level message to the host at to.
+func (h *Host) SendMessage(to, topic string, data []byte) error {
+	h.mu.Lock()
+	h.stats.MessagesSent++
+	h.mu.Unlock()
+	var b wire.Buffer
+	b.PutByte(msgUser)
+	b.PutString(topic)
+	b.PutBytes(data)
+	if err := h.kch.Send(to, b.Bytes()); err != nil {
+		return fmt.Errorf("core: message to %s: %w", to, err)
+	}
+	return nil
+}
+
+// DeliverLocal injects an application-level message into this host's own
+// handlers, as when an agent arrives and hands over its payload.
+func (h *Host) DeliverLocal(from, topic string, data []byte) {
+	h.mu.Lock()
+	h.stats.MessagesIn++
+	handlers := make([]MessageHandler, len(h.msgHandlers))
+	copy(handlers, h.msgHandlers)
+	h.record("message", from, topic, true, "")
+	h.mu.Unlock()
+	for _, fn := range handlers {
+		fn(from, topic, data)
+	}
+}
+
+// handle dispatches one kernel-channel message.
+func (h *Host) handle(from string, payload []byte) {
+	r := wire.NewReader(payload)
+	switch r.Byte() {
+	case msgCall:
+		h.handleCall(from, r)
+	case msgCallReply, msgEvalReply, msgFetchReply, msgAgentAck:
+		id := r.Uint()
+		ok := r.Bool()
+		errMsg := r.String()
+		if r.Err() != nil {
+			return
+		}
+		h.resolve(from, id, ok, errMsg, r)
+	case msgEval:
+		h.handleEval(from, r)
+	case msgFetch:
+		h.handleFetch(from, r)
+	case msgAgent:
+		h.handleAgent(from, r)
+	case msgUser:
+		topic := r.String()
+		data := r.Bytes()
+		if r.ExpectEOF() != nil {
+			return
+		}
+		h.DeliverLocal(from, topic, data)
+	}
+}
+
+// reply sends a reply frame; extra appends type-specific payload after the
+// (id, ok, errMsg) header.
+func (h *Host) reply(to string, kind byte, id uint64, ok bool, errMsg string, extra func(b *wire.Buffer)) {
+	var b wire.Buffer
+	b.PutByte(kind)
+	b.PutUint(id)
+	b.PutBool(ok)
+	b.PutString(errMsg)
+	if extra != nil {
+		extra(&b)
+	}
+	_ = h.kch.Send(to, b.Bytes()) // replies are best effort
+}
+
+func (h *Host) handleCall(from string, r *reader) {
+	id := r.Uint()
+	service := r.String()
+	n := r.Uint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return
+	}
+	args := make([][]byte, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		args = append(args, r.Bytes())
+	}
+	if r.ExpectEOF() != nil {
+		return
+	}
+	h.mu.Lock()
+	fn, ok := h.services[service]
+	h.stats.CallsServed++
+	h.record("call", from, service, ok, "")
+	h.mu.Unlock()
+	if !ok {
+		h.reply(from, msgCallReply, id, false, ErrNoService.Error(), nil)
+		return
+	}
+	results, err := fn(from, args)
+	if err != nil {
+		h.reply(from, msgCallReply, id, false, err.Error(), nil)
+		return
+	}
+	h.reply(from, msgCallReply, id, true, "", func(b *wire.Buffer) {
+		b.PutUint(uint64(len(results)))
+		for _, res := range results {
+			b.PutBytes(res)
+		}
+	})
+}
+
+func (h *Host) handleEval(from string, r *reader) {
+	id := r.Uint()
+	packed := r.Bytes()
+	entry := r.String()
+	n := r.Uint()
+	if r.Err() != nil || n > uint64(r.Remaining())+1 {
+		return
+	}
+	args := make([]int64, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		args = append(args, r.Int())
+	}
+	if r.ExpectEOF() != nil {
+		return
+	}
+	h.mu.Lock()
+	serve := h.serveEval
+	h.stats.EvalsServed++
+	h.mu.Unlock()
+	if !serve {
+		h.reply(from, msgEvalReply, id, false, ErrRefused.Error(), nil)
+		return
+	}
+	u, err := lmu.Unpack(packed)
+	if err != nil {
+		h.reply(from, msgEvalReply, id, false, err.Error(), nil)
+		return
+	}
+	if err := h.verify("eval", from, u); err != nil {
+		h.reply(from, msgEvalReply, id, false, err.Error(), nil)
+		return
+	}
+	stack, steps, err := h.runUnit(u, entry, args)
+	if err != nil {
+		h.reply(from, msgEvalReply, id, false, err.Error(), nil)
+		return
+	}
+	send := func() {
+		h.reply(from, msgEvalReply, id, true, "", func(b *wire.Buffer) {
+			b.PutUint(uint64(len(stack)))
+			for _, v := range stack {
+				b.PutInt(v)
+			}
+		})
+	}
+	// Model compute time: the reply leaves only after the host has "spent"
+	// steps/ComputeRate of virtual time on the work.
+	if h.computeRate > 0 && steps > 0 {
+		delay := time.Duration(float64(steps) / h.computeRate * float64(time.Second))
+		h.sched.After(delay, send)
+		return
+	}
+	send()
+}
+
+func (h *Host) handleFetch(from string, r *reader) {
+	id := r.Uint()
+	name := r.String()
+	minVersion := r.String()
+	if r.ExpectEOF() != nil {
+		return
+	}
+	h.mu.Lock()
+	pub := h.published[name]
+	h.stats.FetchesServed++
+	h.record("fetch", from, name, pub, "")
+	h.mu.Unlock()
+	if !pub {
+		h.reply(from, msgFetchReply, id, false, ErrNotFound.Error(), nil)
+		return
+	}
+	u, ok := h.reg.GetAtLeast(name, minVersion)
+	if !ok {
+		h.reply(from, msgFetchReply, id, false, ErrNotFound.Error(), nil)
+		return
+	}
+	h.reply(from, msgFetchReply, id, true, "", func(b *wire.Buffer) {
+		b.PutBytes(u.Pack())
+	})
+}
+
+func (h *Host) handleAgent(from string, r *reader) {
+	id := r.Uint()
+	packed := r.Bytes()
+	if r.ExpectEOF() != nil {
+		return
+	}
+	h.mu.Lock()
+	handler := h.agentHandler
+	h.stats.AgentsIn++
+	h.mu.Unlock()
+	if handler == nil {
+		h.mu.Lock()
+		h.stats.AgentsRefused++
+		h.record("agent", from, "", false, "no agent runtime")
+		h.mu.Unlock()
+		h.reply(from, msgAgentAck, id, false, ErrRefused.Error(), nil)
+		return
+	}
+	u, err := lmu.Unpack(packed)
+	if err != nil {
+		h.reply(from, msgAgentAck, id, false, err.Error(), nil)
+		return
+	}
+	if u.Manifest.Kind != lmu.KindAgent {
+		h.reply(from, msgAgentAck, id, false, "unit is not an agent", nil)
+		return
+	}
+	if err := h.verify("agent", from, u); err != nil {
+		h.mu.Lock()
+		h.stats.AgentsRefused++
+		h.mu.Unlock()
+		h.reply(from, msgAgentAck, id, false, err.Error(), nil)
+		return
+	}
+	acked := false
+	handler(from, u, func(accepted bool, reason string) {
+		if acked {
+			return
+		}
+		acked = true
+		if !accepted {
+			h.mu.Lock()
+			h.stats.AgentsRefused++
+			h.mu.Unlock()
+			if reason == "" {
+				reason = ErrRefused.Error()
+			}
+			h.reply(from, msgAgentAck, id, false, reason, nil)
+			return
+		}
+		h.reply(from, msgAgentAck, id, true, "", nil)
+	})
+}
+
+// defaultEvalHostTable grants foreign evaluations a minimal, safe capability
+// set: reading the unit's own data blobs, the host clock, and audit logging.
+// Notably absent: migration, message delivery, context access.
+func defaultEvalHostTable(h *Host, u *lmu.Unit) *vm.HostTable {
+	return BaseHostTable(h, u)
+}
+
+// BaseHostTable builds the capability table shared by component execution
+// and remote evaluation. Blob access addresses the unit's data values in
+// sorted key order.
+func BaseHostTable(h *Host, u *lmu.Unit) *vm.HostTable {
+	t := vm.NewHostTable()
+	keys := sortedDataKeys(u)
+	blob := func(i int64) ([]byte, bool) {
+		if i < 0 || i >= int64(len(keys)) {
+			return nil, false
+		}
+		return u.Data[keys[i]], true
+	}
+	t.Register(vm.HostFunc{
+		Name: "blob_count", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			return []int64{int64(len(keys))}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "blob_len", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			b, ok := blob(args[0])
+			if !ok {
+				return []int64{-1}, 0, nil
+			}
+			return []int64{int64(len(b))}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "blob_byte", Arity: 2,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			b, ok := blob(args[0])
+			if !ok || args[1] < 0 || args[1] >= int64(len(b)) {
+				return []int64{-1}, 0, nil
+			}
+			return []int64{int64(b[args[1]])}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "now_ms", Arity: 0,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			return []int64{h.sched.Now().Milliseconds()}, 0, nil
+		},
+	})
+	t.Register(vm.HostFunc{
+		Name: "log", Arity: 1,
+		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+			h.mu.Lock()
+			h.record("vm-log", h.name, u.Manifest.Name, true, fmt.Sprintf("%d", args[0]))
+			h.mu.Unlock()
+			return nil, 0, nil
+		},
+	})
+	return t
+}
+
+func sortedDataKeys(u *lmu.Unit) []string {
+	keys := make([]string, 0, len(u.Data))
+	for k := range u.Data {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

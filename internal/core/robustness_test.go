@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"logmob/internal/netsim"
+	"logmob/internal/transport"
+	"logmob/internal/wire"
+)
+
+// TestKernelSurvivesGarbageFrames feeds the kernel channel random byte
+// soup and truncated-but-plausible frames: nothing may panic, and the host
+// must still serve real traffic afterwards.
+func TestKernelSurvivesGarbageFrames(t *testing.T) {
+	w := newWorld(t)
+	server := w.addHost(t, "server", nil)
+	server.RegisterService("ping", func(string, [][]byte) ([][]byte, error) {
+		return [][]byte{{1}}, nil
+	})
+	client := w.addHost(t, "client", nil)
+
+	// A raw attacker node speaking directly to the kernel channel.
+	class := netsim.WLAN
+	class.Loss = 0
+	w.net.AddNode("attacker", netsim.Position{}, class)
+	attacker, err := w.sn.Endpoint("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amux := transport.NewMux(attacker)
+	kch := amux.Channel(transport.ChanKernel)
+
+	rng := rand.New(rand.NewSource(31))
+	// Pure random soup.
+	for i := 0; i < 200; i++ {
+		frame := make([]byte, rng.Intn(120))
+		rng.Read(frame)
+		_ = kch.Send("server", frame)
+	}
+	// Plausible prefixes: valid message type bytes followed by garbage.
+	for msgType := byte(1); msgType <= 9; msgType++ {
+		for i := 0; i < 20; i++ {
+			var b wire.Buffer
+			b.PutByte(msgType)
+			garbage := make([]byte, rng.Intn(60))
+			rng.Read(garbage)
+			frame := append(b.Bytes(), garbage...)
+			_ = kch.Send("server", frame)
+		}
+	}
+	w.sim.RunFor(time.Minute)
+
+	// The kernel still works.
+	var got error
+	ok := false
+	client.Call("server", "ping", nil, func(r [][]byte, err error) { got = err; ok = true })
+	w.sim.RunFor(10 * time.Second)
+	if !ok || got != nil {
+		t.Fatalf("kernel broken after garbage: ok=%v err=%v", ok, got)
+	}
+}
+
+// TestKernelIgnoresForgedReplies sends unsolicited and duplicate reply
+// frames; pending-request bookkeeping must not confuse them with real
+// replies.
+func TestKernelIgnoresForgedReplies(t *testing.T) {
+	w := newWorld(t)
+	server := w.addHost(t, "server", nil)
+	server.RegisterService("ping", func(string, [][]byte) ([][]byte, error) {
+		return [][]byte{{1}}, nil
+	})
+	client := w.addHost(t, "client", nil)
+
+	class := netsim.WLAN
+	class.Loss = 0
+	w.net.AddNode("forger", netsim.Position{}, class)
+	forger, err := w.sn.Endpoint("forger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fch := transport.NewMux(forger).Channel(transport.ChanKernel)
+
+	// Forge replies for request IDs the client might use.
+	for id := uint64(1); id <= 5; id++ {
+		var b wire.Buffer
+		b.PutByte(2) // msgCallReply
+		b.PutUint(id)
+		b.PutBool(true)
+		b.PutString("")
+		b.PutUint(1)
+		b.PutBytes([]byte("forged"))
+		_ = fch.Send("client", b.Bytes())
+	}
+	w.sim.RunFor(time.Second)
+
+	// The client's next real call must return the server's reply, and its
+	// callback must fire exactly once despite more forged replies arriving.
+	calls := 0
+	var result []byte
+	client.Call("server", "ping", nil, func(r [][]byte, err error) {
+		calls++
+		if err == nil && len(r) == 1 {
+			result = r[0]
+		}
+	})
+	// More forgery racing the real reply.
+	for id := uint64(1); id <= 10; id++ {
+		var b wire.Buffer
+		b.PutByte(2)
+		b.PutUint(id)
+		b.PutBool(true)
+		b.PutString("")
+		b.PutUint(1)
+		b.PutBytes([]byte("forged"))
+		_ = fch.Send("client", b.Bytes())
+	}
+	w.sim.RunFor(time.Minute)
+	if calls != 1 {
+		t.Fatalf("callback fired %d times", calls)
+	}
+	if string(result) == "forged" {
+		t.Fatal("client accepted a forged reply as the call result")
+	}
+}

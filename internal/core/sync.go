@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+
+	"logmob/internal/lmu"
+)
+
+// Blocking wrappers over the kernel's asynchronous paradigm APIs.
+//
+// These are for hosts on the real TCP transport (cmd/logmobd and other
+// daemons), where handlers run on their own goroutines and blocking is safe.
+// Over the simulator the event loop is single-goroutine: a blocking call
+// from inside it would deadlock, so simulator code uses the callback forms.
+
+// CallSync invokes a remote service and waits for the reply or ctx
+// cancellation.
+func (h *Host) CallSync(ctx context.Context, to, service string, args [][]byte) ([][]byte, error) {
+	type reply struct {
+		results [][]byte
+		err     error
+	}
+	ch := make(chan reply, 1)
+	h.Call(to, service, args, func(results [][]byte, err error) {
+		ch <- reply{results: results, err: err}
+	})
+	select {
+	case r := <-ch:
+		return r.results, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// EvalSync ships a unit for Remote Evaluation and waits for its result
+// stack.
+func (h *Host) EvalSync(ctx context.Context, to string, unit *lmu.Unit, entry string, args []int64) ([]int64, error) {
+	type reply struct {
+		stack []int64
+		err   error
+	}
+	ch := make(chan reply, 1)
+	h.Eval(to, unit, entry, args, func(stack []int64, err error) {
+		ch <- reply{stack: stack, err: err}
+	})
+	select {
+	case r := <-ch:
+		return r.stack, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// FetchSync retrieves a published unit and waits for it to be verified and
+// stored locally.
+func (h *Host) FetchSync(ctx context.Context, from, name, minVersion string) (*lmu.Unit, error) {
+	type reply struct {
+		unit *lmu.Unit
+		err  error
+	}
+	ch := make(chan reply, 1)
+	h.Fetch(from, name, minVersion, func(u *lmu.Unit, err error) {
+		ch <- reply{unit: u, err: err}
+	})
+	select {
+	case r := <-ch:
+		return r.unit, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SendAgentSync transfers an agent and waits for the receiver's accept or
+// refuse.
+func (h *Host) SendAgentSync(ctx context.Context, to string, unit *lmu.Unit) error {
+	ch := make(chan error, 1)
+	h.SendAgent(to, unit, func(err error) { ch <- err })
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

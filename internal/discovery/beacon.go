@@ -1,0 +1,148 @@
+package discovery
+
+import (
+	"time"
+
+	"logmob/internal/transport"
+	"logmob/internal/wire"
+)
+
+// Beacon implements decentralised ad-hoc discovery: the node periodically
+// broadcasts its own advertisements to its current radio neighbors and
+// caches advertisements it hears. No infrastructure is required, so it keeps
+// working in the partitioned, centralised-index-free environments where the
+// paper argues Jini-style lookup breaks down.
+type Beacon struct {
+	ep       transport.Endpoint
+	sched    transport.Scheduler
+	interval time.Duration
+	local    map[string]Ad // service -> own ad
+	cache    *adTable
+	stop     func()
+	running  bool
+	// Heard counts beacon messages received.
+	Heard int64
+	// Sent counts beacon broadcasts performed.
+	Sent int64
+}
+
+var _ Finder = (*Beacon)(nil)
+
+// NewBeacon attaches a beacon service to ep, broadcasting every interval
+// once Start is called.
+func NewBeacon(ep transport.Endpoint, sched transport.Scheduler, interval time.Duration) *Beacon {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	b := &Beacon{
+		ep:       ep,
+		sched:    sched,
+		interval: interval,
+		local:    make(map[string]Ad),
+		cache:    newAdTable(sched.Now),
+	}
+	ep.SetHandler(b.handle)
+	return b
+}
+
+// Advertise adds (or replaces) a local service advertisement included in
+// every subsequent beacon. An unset TTL defaults to three beacon intervals,
+// so an ad survives two lost beacons before neighbors expire it.
+func (b *Beacon) Advertise(ad Ad) {
+	if ad.Provider == "" {
+		ad.Provider = b.ep.Addr()
+	}
+	if ad.TTL <= 0 {
+		ad.TTL = 3 * b.interval
+	}
+	b.local[ad.Service] = ad
+}
+
+// Withdraw removes a local advertisement. Neighbors expire it by TTL.
+func (b *Beacon) Withdraw(service string) {
+	delete(b.local, service)
+}
+
+// Start begins periodic broadcasting. The first beacon goes out immediately.
+func (b *Beacon) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
+	b.tick()
+}
+
+func (b *Beacon) tick() {
+	if !b.running {
+		return
+	}
+	b.broadcastNow()
+	b.stop = b.sched.After(b.interval, b.tick)
+}
+
+// broadcastNow sends one beacon containing all local ads.
+func (b *Beacon) broadcastNow() {
+	if len(b.local) == 0 {
+		return
+	}
+	var buf wire.Buffer
+	buf.PutUint(uint64(len(b.local)))
+	// Deterministic order.
+	services := make([]string, 0, len(b.local))
+	for s := range b.local {
+		services = append(services, s)
+	}
+	for i := 1; i < len(services); i++ {
+		for j := i; j > 0 && services[j] < services[j-1]; j-- {
+			services[j], services[j-1] = services[j-1], services[j]
+		}
+	}
+	for _, s := range services {
+		ad := b.local[s]
+		ad.encode(&buf)
+	}
+	b.ep.Broadcast(buf.Bytes())
+	b.Sent++
+}
+
+// Stop halts broadcasting. Cached remote ads continue to expire naturally.
+func (b *Beacon) Stop() {
+	b.running = false
+	if b.stop != nil {
+		b.stop()
+		b.stop = nil
+	}
+}
+
+func (b *Beacon) handle(from string, payload []byte) {
+	r := wire.NewReader(payload)
+	n := r.Uint()
+	if n > uint64(len(payload)) {
+		return
+	}
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		ad := decodeAd(r)
+		if r.Err() == nil && ad.Service != "" {
+			b.cache.put(ad)
+		}
+	}
+	if r.Err() == nil {
+		b.Heard++
+	}
+}
+
+// Find answers immediately from the local cache plus the node's own
+// advertisements; no traffic is generated.
+func (b *Beacon) Find(q Query, cb func(ads []Ad)) {
+	ads := b.cache.find(q)
+	for _, ad := range b.local {
+		if q.Matches(ad) {
+			ads = append(ads, ad)
+		}
+	}
+	sortAds(ads)
+	cb(ads)
+}
+
+// CacheSize returns the number of live cached remote advertisements.
+func (b *Beacon) CacheSize() int { return b.cache.size() }

@@ -1,0 +1,157 @@
+// Package discovery implements service discovery in both of the styles the
+// paper contrasts.
+//
+// The centralised LookupServer/LookupClient pair is Jini-like: providers
+// register leased advertisements with a well-known lookup service, and
+// clients query it. As the paper notes, this "requires lookup services,
+// functioning as indexes of services offered, to operate" and is a poor fit
+// for ad-hoc environments where no such index is reachable.
+//
+// The decentralised Beacon service is the ad-hoc alternative: every node
+// periodically broadcasts its advertisements to its radio neighbors and
+// caches what it hears, so discovery keeps working in an infrastructure-less
+// piconet. Experiment T7 measures the two under churn.
+package discovery
+
+import (
+	"time"
+
+	"logmob/internal/wire"
+)
+
+// Ad advertises one service offered by a provider.
+type Ad struct {
+	// Service names the offered service, e.g. "cinema/tickets".
+	Service string
+	// Provider is the offering host's transport address.
+	Provider string
+	// Attrs carries free-form service metadata.
+	Attrs map[string]string
+	// TTL is how long the advertisement stays valid without renewal.
+	TTL time.Duration
+}
+
+func (a *Ad) encode(b *wire.Buffer) {
+	b.PutString(a.Service)
+	b.PutString(a.Provider)
+	b.PutStringMap(a.Attrs)
+	b.PutInt(int64(a.TTL))
+}
+
+func decodeAd(r *wire.Reader) Ad {
+	return Ad{
+		Service:  r.String(),
+		Provider: r.String(),
+		Attrs:    r.StringMap(),
+		TTL:      time.Duration(r.Int()),
+	}
+}
+
+// Query matches advertisements. Service must match exactly; every Attrs
+// entry must be present with the same value.
+type Query struct {
+	Service string
+	Attrs   map[string]string
+}
+
+// Matches reports whether ad satisfies the query.
+func (q Query) Matches(ad Ad) bool {
+	if q.Service != "" && q.Service != ad.Service {
+		return false
+	}
+	for k, v := range q.Attrs {
+		if ad.Attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (q Query) encode(b *wire.Buffer) {
+	b.PutString(q.Service)
+	b.PutStringMap(q.Attrs)
+}
+
+func decodeQuery(r *wire.Reader) Query {
+	return Query{Service: r.String(), Attrs: r.StringMap()}
+}
+
+// Finder is the query interface shared by both discovery styles. The
+// callback is invoked exactly once, possibly synchronously, with the
+// matching advertisements (nil on failure or timeout).
+type Finder interface {
+	Find(q Query, cb func(ads []Ad))
+}
+
+// lease is a stored advertisement with its expiry.
+type lease struct {
+	ad      Ad
+	expires time.Duration
+}
+
+// adTable is an expiring advertisement store shared by the lookup server and
+// the beacon cache. Single-goroutine (simulation/handler context).
+type adTable struct {
+	now    func() time.Duration
+	leases map[string]lease // key: provider + "\x00" + service
+}
+
+func newAdTable(now func() time.Duration) *adTable {
+	return &adTable{now: now, leases: make(map[string]lease)}
+}
+
+func (t *adTable) put(ad Ad) {
+	ttl := ad.TTL
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	t.leases[ad.Provider+"\x00"+ad.Service] = lease{ad: ad, expires: t.now() + ttl}
+}
+
+func (t *adTable) drop(provider, service string) {
+	delete(t.leases, provider+"\x00"+service)
+}
+
+// find returns matching, unexpired ads and prunes expired ones.
+func (t *adTable) find(q Query) []Ad {
+	now := t.now()
+	var out []Ad
+	for key, l := range t.leases {
+		if l.expires <= now {
+			delete(t.leases, key)
+			continue
+		}
+		if q.Matches(l.ad) {
+			out = append(out, l.ad)
+		}
+	}
+	sortAds(out)
+	return out
+}
+
+func (t *adTable) size() int {
+	// Prune before counting.
+	now := t.now()
+	for key, l := range t.leases {
+		if l.expires <= now {
+			delete(t.leases, key)
+		}
+	}
+	return len(t.leases)
+}
+
+// sortAds orders ads by (service, provider) for deterministic output.
+func sortAds(ads []Ad) {
+	for i := 1; i < len(ads); i++ {
+		for j := i; j > 0 && adLess(ads[j], ads[j-1]); j-- {
+			ads[j], ads[j-1] = ads[j-1], ads[j]
+		}
+	}
+}
+
+func adLess(a, b Ad) bool {
+	if a.Service != b.Service {
+		return a.Service < b.Service
+	}
+	return a.Provider < b.Provider
+}

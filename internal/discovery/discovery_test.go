@@ -1,0 +1,308 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"logmob/internal/netsim"
+	"logmob/internal/transport"
+)
+
+// rig is a simulated environment with a lookup server plus client nodes.
+type rig struct {
+	sim *netsim.Sim
+	net *netsim.Network
+	sn  *transport.SimNetwork
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	return &rig{sim: sim, net: net, sn: transport.NewSimNetwork(net)}
+}
+
+func (r *rig) addNode(t *testing.T, id string, pos netsim.Position, class netsim.LinkClass) transport.Endpoint {
+	t.Helper()
+	class.Loss = 0
+	r.net.AddNode(id, pos, class)
+	ep, err := r.sn.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func TestQueryMatches(t *testing.T) {
+	ad := Ad{Service: "print", Provider: "p", Attrs: map[string]string{"color": "yes", "floor": "2"}}
+	cases := []struct {
+		q    Query
+		want bool
+	}{
+		{Query{Service: "print"}, true},
+		{Query{Service: "scan"}, false},
+		{Query{}, true},
+		{Query{Service: "print", Attrs: map[string]string{"color": "yes"}}, true},
+		{Query{Service: "print", Attrs: map[string]string{"color": "no"}}, false},
+		{Query{Attrs: map[string]string{"floor": "2", "color": "yes"}}, true},
+		{Query{Attrs: map[string]string{"missing": "x"}}, false},
+	}
+	for i, c := range cases {
+		if got := c.q.Matches(ad); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestLookupRegisterAndFind(t *testing.T) {
+	r := newRig(t)
+	epS := r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	epP := r.addNode(t, "provider", netsim.Position{}, netsim.GPRS)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+
+	server := NewLookupServer(epS, r.sim)
+	provider := NewLookupClient(epP, r.sim, "lookup")
+	client := NewLookupClient(epC, r.sim, "lookup")
+
+	if err := provider.Advertise(Ad{Service: "cinema/tickets", Attrs: map[string]string{"city": "london"}}); err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	r.sim.RunFor(2 * time.Second)
+
+	var got []Ad
+	client.Find(Query{Service: "cinema/tickets"}, func(ads []Ad) { got = ads })
+	r.sim.RunFor(5 * time.Second)
+
+	if len(got) != 1 {
+		t.Fatalf("Find returned %d ads, want 1", len(got))
+	}
+	if got[0].Provider != "provider" || got[0].Attrs["city"] != "london" {
+		t.Errorf("ad = %+v", got[0])
+	}
+	if server.Registrations == 0 || server.Queries != 1 {
+		t.Errorf("server counters = %d regs, %d queries", server.Registrations, server.Queries)
+	}
+}
+
+func TestLookupNoMatch(t *testing.T) {
+	r := newRig(t)
+	epS := r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+	NewLookupServer(epS, r.sim)
+	client := NewLookupClient(epC, r.sim, "lookup")
+
+	called := false
+	var got []Ad
+	client.Find(Query{Service: "none"}, func(ads []Ad) { called = true; got = ads })
+	r.sim.RunFor(5 * time.Second)
+	if !called {
+		t.Fatal("callback never invoked")
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d ads", len(got))
+	}
+}
+
+func TestLookupLeaseExpiry(t *testing.T) {
+	r := newRig(t)
+	epS := r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	epP := r.addNode(t, "provider", netsim.Position{}, netsim.GPRS)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+	server := NewLookupServer(epS, r.sim)
+	provider := NewLookupClient(epP, r.sim, "lookup")
+	client := NewLookupClient(epC, r.sim, "lookup")
+
+	if err := provider.Advertise(Ad{Service: "svc", TTL: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.RunFor(2 * time.Second)
+	if server.Leases() != 1 {
+		t.Fatalf("Leases = %d", server.Leases())
+	}
+	// Kill the provider so renewals stop reaching the server.
+	r.net.SetUp("provider", false)
+	r.sim.RunFor(60 * time.Second)
+	var got []Ad
+	client.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })
+	r.sim.RunFor(10 * time.Second)
+	if len(got) != 0 {
+		t.Errorf("expired lease still discoverable: %+v", got)
+	}
+}
+
+func TestLookupLeaseRenewal(t *testing.T) {
+	r := newRig(t)
+	epS := r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	epP := r.addNode(t, "provider", netsim.Position{}, netsim.GPRS)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+	NewLookupServer(epS, r.sim)
+	provider := NewLookupClient(epP, r.sim, "lookup")
+	client := NewLookupClient(epC, r.sim, "lookup")
+
+	if err := provider.Advertise(Ad{Service: "svc", TTL: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// Far beyond one TTL; renewals must keep the lease alive.
+	r.sim.RunFor(120 * time.Second)
+	var got []Ad
+	client.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })
+	r.sim.RunFor(10 * time.Second)
+	if len(got) != 1 {
+		t.Errorf("renewed lease lost: got %d ads", len(got))
+	}
+}
+
+func TestLookupWithdraw(t *testing.T) {
+	r := newRig(t)
+	epS := r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	epP := r.addNode(t, "provider", netsim.Position{}, netsim.GPRS)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+	NewLookupServer(epS, r.sim)
+	provider := NewLookupClient(epP, r.sim, "lookup")
+	client := NewLookupClient(epC, r.sim, "lookup")
+
+	if err := provider.Advertise(Ad{Service: "svc", TTL: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.RunFor(2 * time.Second)
+	provider.Withdraw("svc")
+	r.sim.RunFor(5 * time.Second)
+	var got []Ad
+	client.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })
+	r.sim.RunFor(10 * time.Second)
+	if len(got) != 0 {
+		t.Errorf("withdrawn service still discoverable")
+	}
+}
+
+func TestLookupUnreachableServerTimesOut(t *testing.T) {
+	r := newRig(t)
+	epC := r.addNode(t, "client", netsim.Position{}, netsim.GPRS)
+	r.addNode(t, "lookup", netsim.Position{}, netsim.LAN)
+	client := NewLookupClient(epC, r.sim, "lookup")
+	r.net.SetUp("lookup", false)
+
+	called := false
+	var got []Ad
+	client.Find(Query{Service: "svc"}, func(ads []Ad) { called = true; got = ads })
+	r.sim.RunFor(10 * time.Second)
+	if !called {
+		t.Fatal("callback never invoked for unreachable server")
+	}
+	if got != nil {
+		t.Errorf("got = %v, want nil for failure", got)
+	}
+}
+
+func TestBeaconDiscovery(t *testing.T) {
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{X: 0, Y: 0}, netsim.AdHoc)
+	epB := r.addNode(t, "b", netsim.Position{X: 10, Y: 0}, netsim.AdHoc)
+
+	ba := NewBeacon(epA, r.sim, 2*time.Second)
+	bb := NewBeacon(epB, r.sim, 2*time.Second)
+	ba.Advertise(Ad{Service: "codec/ogg"})
+	ba.Start()
+	bb.Start()
+	r.sim.RunFor(5 * time.Second)
+
+	var got []Ad
+	bb.Find(Query{Service: "codec/ogg"}, func(ads []Ad) { got = ads })
+	if len(got) != 1 || got[0].Provider != "a" {
+		t.Fatalf("Find = %+v", got)
+	}
+	if bb.Heard == 0 || ba.Sent == 0 {
+		t.Errorf("Heard=%d Sent=%d", bb.Heard, ba.Sent)
+	}
+}
+
+func TestBeaconFindsOwnServices(t *testing.T) {
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{}, netsim.AdHoc)
+	ba := NewBeacon(epA, r.sim, time.Second)
+	ba.Advertise(Ad{Service: "local/svc"})
+	var got []Ad
+	ba.Find(Query{Service: "local/svc"}, func(ads []Ad) { got = ads })
+	if len(got) != 1 {
+		t.Fatalf("own service not found: %v", got)
+	}
+}
+
+func TestBeaconExpiryAfterDeparture(t *testing.T) {
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{X: 0, Y: 0}, netsim.AdHoc)
+	epB := r.addNode(t, "b", netsim.Position{X: 10, Y: 0}, netsim.AdHoc)
+	ba := NewBeacon(epA, r.sim, 2*time.Second)
+	bb := NewBeacon(epB, r.sim, 2*time.Second)
+	ba.Advertise(Ad{Service: "svc"})
+	ba.Start()
+	bb.Start()
+	r.sim.RunFor(5 * time.Second)
+	if bb.CacheSize() != 1 {
+		t.Fatalf("CacheSize = %d", bb.CacheSize())
+	}
+	// a leaves radio range; its ads must expire from b's cache by TTL.
+	r.net.Node("a").Pos = netsim.Position{X: 1000, Y: 0}
+	r.sim.RunFor(30 * time.Second)
+	var got []Ad
+	bb.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })
+	if len(got) != 0 {
+		t.Errorf("departed provider still cached: %+v", got)
+	}
+}
+
+func TestBeaconWithdraw(t *testing.T) {
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{}, netsim.AdHoc)
+	ba := NewBeacon(epA, r.sim, time.Second)
+	ba.Advertise(Ad{Service: "svc"})
+	ba.Withdraw("svc")
+	var got []Ad
+	ba.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })
+	if len(got) != 0 {
+		t.Errorf("withdrawn service still in local set")
+	}
+}
+
+func TestBeaconStop(t *testing.T) {
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{X: 0, Y: 0}, netsim.AdHoc)
+	epB := r.addNode(t, "b", netsim.Position{X: 10, Y: 0}, netsim.AdHoc)
+	ba := NewBeacon(epA, r.sim, time.Second)
+	NewBeacon(epB, r.sim, time.Second)
+	ba.Advertise(Ad{Service: "svc"})
+	ba.Start()
+	r.sim.RunFor(3 * time.Second)
+	sent := ba.Sent
+	ba.Stop()
+	r.sim.RunFor(10 * time.Second)
+	if ba.Sent != sent {
+		t.Errorf("beacons sent after Stop: %d -> %d", sent, ba.Sent)
+	}
+}
+
+func TestBeaconMultiHopDoesNotPropagate(t *testing.T) {
+	// Beacons are single-hop: c (out of a's range, in b's) must not learn
+	// about a's services unless b re-advertises them.
+	r := newRig(t)
+	epA := r.addNode(t, "a", netsim.Position{X: 0, Y: 0}, netsim.AdHoc)
+	epB := r.addNode(t, "b", netsim.Position{X: 25, Y: 0}, netsim.AdHoc)
+	epC := r.addNode(t, "c", netsim.Position{X: 50, Y: 0}, netsim.AdHoc)
+	ba := NewBeacon(epA, r.sim, time.Second)
+	bb := NewBeacon(epB, r.sim, time.Second)
+	bc := NewBeacon(epC, r.sim, time.Second)
+	ba.Advertise(Ad{Service: "svc"})
+	ba.Start()
+	bb.Start()
+	bc.Start()
+	r.sim.RunFor(10 * time.Second)
+	var atB, atC []Ad
+	bb.Find(Query{Service: "svc"}, func(ads []Ad) { atB = ads })
+	bc.Find(Query{Service: "svc"}, func(ads []Ad) { atC = ads })
+	if len(atB) != 1 {
+		t.Errorf("b should hear a: %v", atB)
+	}
+	if len(atC) != 0 {
+		t.Errorf("c should not hear a: %v", atC)
+	}
+}

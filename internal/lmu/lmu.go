@@ -1,0 +1,330 @@
+// Package lmu defines the Logical Mobility Unit, logmob's unit of code
+// movement.
+//
+// Following Fuggetta, Picco and Vigna's decomposition of mobile code, an LMU
+// bundles up to three constituents: code (a VM program), a data space (named
+// byte strings) and execution state (a VM snapshot). A Code-On-Demand
+// component carries code and data; a Remote Evaluation request carries code;
+// a Mobile Agent carries all three. The unit also carries a manifest —
+// identity, version, kind, dependencies, free-form attributes — and an
+// optional digital signature added by the security layer.
+//
+// Packing is canonical and deterministic so that a unit's content hash is
+// stable across hosts, which is what signatures are computed over.
+package lmu
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"logmob/internal/wire"
+)
+
+// Kind classifies what a unit is for.
+type Kind uint8
+
+// Unit kinds.
+const (
+	// KindComponent is installable code fetched by COD (e.g. a codec).
+	KindComponent Kind = iota + 1
+	// KindAgent is an autonomous mobile agent carrying state.
+	KindAgent
+	// KindRequest is a Remote Evaluation request shipped for execution.
+	KindRequest
+	// KindData is a pure data unit with no code.
+	KindData
+)
+
+// String returns the kind name used in tables and manifests.
+func (k Kind) String() string {
+	switch k {
+	case KindComponent:
+		return "component"
+	case KindAgent:
+		return "agent"
+	case KindRequest:
+		return "request"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Dep names a component this unit requires, with a minimum version.
+type Dep struct {
+	Name       string
+	MinVersion string
+}
+
+// Manifest identifies and describes a unit.
+type Manifest struct {
+	// Name is the unit's identity, e.g. "codec/ogg".
+	Name string
+	// Version is a dotted numeric version, e.g. "1.2.0".
+	Version string
+	// Kind classifies the unit.
+	Kind Kind
+	// Publisher names the identity expected to have signed the unit.
+	Publisher string
+	// Deps lists components that must be resolvable before this unit runs.
+	Deps []Dep
+	// Attrs carries free-form metadata (e.g. "format": "ogg").
+	Attrs map[string]string
+}
+
+// SigMode selects what a signature covers.
+type SigMode uint8
+
+// Signature modes.
+const (
+	// SigFull covers the complete unit content (manifest, code, data,
+	// state). Right for immutable components: any change invalidates it.
+	SigFull SigMode = iota + 1
+	// SigCode covers only the unit's identity and code. Right for mobile
+	// agents, whose data and state legitimately mutate at every hop while
+	// the code must remain exactly what the publisher shipped.
+	SigCode
+)
+
+// Signature is a detached signature over one of the unit's hashes.
+type Signature struct {
+	// Signer names the key in the verifier's trust store.
+	Signer string
+	// Mode selects which hash the signature covers.
+	Mode SigMode
+	// Sig is the signature bytes.
+	Sig []byte
+}
+
+// Unit is a Logical Mobility Unit.
+type Unit struct {
+	Manifest Manifest
+	// Code is an encoded vm.Program, or nil for data units.
+	Code []byte
+	// Data is the unit's data space.
+	Data map[string][]byte
+	// State is a vm.Machine snapshot, or nil. Only agents carry state.
+	State []byte
+	// Sig is the optional signature envelope.
+	Sig *Signature
+}
+
+const packVersion = 1
+
+// appendSigned encodes everything covered by the signature.
+func (u *Unit) appendSigned(b *wire.Buffer) {
+	b.PutUint(packVersion)
+	b.PutString(u.Manifest.Name)
+	b.PutString(u.Manifest.Version)
+	b.PutByte(byte(u.Manifest.Kind))
+	b.PutString(u.Manifest.Publisher)
+	b.PutUint(uint64(len(u.Manifest.Deps)))
+	for _, d := range u.Manifest.Deps {
+		b.PutString(d.Name)
+		b.PutString(d.MinVersion)
+	}
+	b.PutStringMap(u.Manifest.Attrs)
+	b.PutBytes(u.Code)
+	b.PutBytesMap(u.Data)
+	b.PutBytes(u.State)
+}
+
+// SignedBytes returns the canonical encoding of the signed portion of the
+// unit. Signatures are computed over the SHA-256 of these bytes.
+func (u *Unit) SignedBytes() []byte {
+	var b wire.Buffer
+	u.appendSigned(&b)
+	return b.Bytes()
+}
+
+// Hash returns the unit's full content hash (SigFull coverage).
+func (u *Unit) Hash() [32]byte {
+	return sha256.Sum256(u.SignedBytes())
+}
+
+// CodeHash returns the hash covering only the unit's identity and code
+// (SigCode coverage).
+func (u *Unit) CodeHash() [32]byte {
+	var b wire.Buffer
+	b.PutString(u.Manifest.Name)
+	b.PutString(u.Manifest.Version)
+	b.PutByte(byte(u.Manifest.Kind))
+	b.PutString(u.Manifest.Publisher)
+	b.PutBytes(u.Code)
+	return sha256.Sum256(b.Bytes())
+}
+
+// HashFor returns the hash covered by the given signature mode.
+func (u *Unit) HashFor(mode SigMode) [32]byte {
+	if mode == SigCode {
+		return u.CodeHash()
+	}
+	return u.Hash()
+}
+
+// Pack serialises the whole unit, including any signature.
+func (u *Unit) Pack() []byte {
+	var b wire.Buffer
+	u.appendSigned(&b)
+	if u.Sig == nil {
+		b.PutBool(false)
+	} else {
+		b.PutBool(true)
+		b.PutString(u.Sig.Signer)
+		b.PutByte(byte(u.Sig.Mode))
+		b.PutBytes(u.Sig.Sig)
+	}
+	return b.Bytes()
+}
+
+// Size returns the unit's packed size in bytes: the traffic it costs to move.
+func (u *Unit) Size() int { return len(u.Pack()) }
+
+// Unpack parses a packed unit.
+func Unpack(data []byte) (*Unit, error) {
+	r := wire.NewReader(data)
+	if v := r.Uint(); r.Err() == nil && v != packVersion {
+		return nil, fmt.Errorf("lmu: unsupported pack version %d", v)
+	}
+	u := &Unit{}
+	u.Manifest.Name = r.String()
+	u.Manifest.Version = r.String()
+	u.Manifest.Kind = Kind(r.Byte())
+	u.Manifest.Publisher = r.String()
+	nDeps := r.Uint()
+	if nDeps > uint64(len(data)) {
+		return nil, fmt.Errorf("lmu: dependency count %d implausible", nDeps)
+	}
+	for i := uint64(0); i < nDeps && r.Err() == nil; i++ {
+		u.Manifest.Deps = append(u.Manifest.Deps, Dep{Name: r.String(), MinVersion: r.String()})
+	}
+	u.Manifest.Attrs = r.StringMap()
+	u.Code = r.Bytes()
+	u.Data = r.BytesMap()
+	u.State = r.Bytes()
+	if r.Bool() {
+		u.Sig = &Signature{Signer: r.String(), Mode: SigMode(r.Byte()), Sig: r.Bytes()}
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("lmu: unpack: %w", err)
+	}
+	if u.Manifest.Name == "" {
+		return nil, fmt.Errorf("lmu: unit has empty name")
+	}
+	if u.Manifest.Kind < KindComponent || u.Manifest.Kind > KindData {
+		return nil, fmt.Errorf("lmu: unknown kind %d", u.Manifest.Kind)
+	}
+	// Normalise: empty decoded collections become nil for DeepEqual
+	// friendliness with freshly built units.
+	if len(u.Code) == 0 {
+		u.Code = nil
+	}
+	if len(u.State) == 0 {
+		u.State = nil
+	}
+	if len(u.Data) == 0 {
+		u.Data = nil
+	}
+	if len(u.Manifest.Attrs) == 0 {
+		u.Manifest.Attrs = nil
+	}
+	return u, nil
+}
+
+// DataKeys returns the unit's data-space keys in sorted order — the indexing
+// order used by VM blob host functions.
+func (u *Unit) DataKeys() []string {
+	keys := make([]string, 0, len(u.Data))
+	for k := range u.Data {
+		keys = append(keys, k)
+	}
+	sortStringsLMU(keys)
+	return keys
+}
+
+func sortStringsLMU(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Clone returns a deep copy of the unit.
+func (u *Unit) Clone() *Unit {
+	c := &Unit{Manifest: u.Manifest}
+	c.Manifest.Deps = append([]Dep(nil), u.Manifest.Deps...)
+	if u.Manifest.Attrs != nil {
+		c.Manifest.Attrs = make(map[string]string, len(u.Manifest.Attrs))
+		for k, v := range u.Manifest.Attrs {
+			c.Manifest.Attrs[k] = v
+		}
+	}
+	c.Code = append([]byte(nil), u.Code...)
+	if len(c.Code) == 0 {
+		c.Code = nil
+	}
+	if u.Data != nil {
+		c.Data = make(map[string][]byte, len(u.Data))
+		for k, v := range u.Data {
+			c.Data[k] = append([]byte(nil), v...)
+		}
+	}
+	c.State = append([]byte(nil), u.State...)
+	if len(c.State) == 0 {
+		c.State = nil
+	}
+	if u.Sig != nil {
+		c.Sig = &Signature{Signer: u.Sig.Signer, Mode: u.Sig.Mode, Sig: append([]byte(nil), u.Sig.Sig...)}
+	}
+	return c
+}
+
+// CompareVersions compares two dotted numeric versions. It returns -1, 0 or
+// +1. Non-numeric segments compare lexically; missing segments compare as 0,
+// so "1.2" == "1.2.0".
+func CompareVersions(a, b string) int {
+	as := strings.Split(a, ".")
+	bs := strings.Split(b, ".")
+	n := len(as)
+	if len(bs) > n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		var sa, sb string
+		if i < len(as) {
+			sa = as[i]
+		}
+		if i < len(bs) {
+			sb = bs[i]
+		}
+		na, ea := strconv.Atoi(segOrZero(sa))
+		nb, eb := strconv.Atoi(segOrZero(sb))
+		if ea == nil && eb == nil {
+			if na != nb {
+				if na < nb {
+					return -1
+				}
+				return 1
+			}
+			continue
+		}
+		if sa != sb {
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func segOrZero(s string) string {
+	if s == "" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package lmu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleUnit() *Unit {
+	return &Unit{
+		Manifest: Manifest{
+			Name:      "codec/ogg",
+			Version:   "1.2.0",
+			Kind:      KindComponent,
+			Publisher: "acme",
+			Deps:      []Dep{{Name: "audio/core", MinVersion: "1.0"}},
+			Attrs:     map[string]string{"format": "ogg"},
+		},
+		Code:  []byte{1, 2, 3, 4},
+		Data:  map[string][]byte{"table": {9, 8}},
+		State: []byte{5, 5},
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	u := sampleUnit()
+	got, err := Unpack(u.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(got, u) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, u)
+	}
+}
+
+func TestPackUnpackWithSignature(t *testing.T) {
+	u := sampleUnit()
+	u.Sig = &Signature{Signer: "acme", Sig: []byte{0xDE, 0xAD}}
+	got, err := Unpack(u.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if got.Sig == nil || got.Sig.Signer != "acme" || !bytes.Equal(got.Sig.Sig, []byte{0xDE, 0xAD}) {
+		t.Errorf("Sig = %+v", got.Sig)
+	}
+}
+
+func TestPackMinimalUnit(t *testing.T) {
+	u := &Unit{Manifest: Manifest{Name: "x", Kind: KindData}}
+	got, err := Unpack(u.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(got, u) {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, u)
+	}
+}
+
+func TestHashStableAndSignatureIndependent(t *testing.T) {
+	u := sampleUnit()
+	h1 := u.Hash()
+	u.Sig = &Signature{Signer: "s", Sig: []byte{1}}
+	h2 := u.Hash()
+	if h1 != h2 {
+		t.Error("Hash changed when signature attached; must cover only content")
+	}
+	u.Data["table"][0] = 0xFF
+	if u.Hash() == h1 {
+		t.Error("Hash unchanged after content mutation")
+	}
+}
+
+func TestHashDeterministicAcrossMapOrder(t *testing.T) {
+	build := func() *Unit {
+		u := &Unit{Manifest: Manifest{Name: "n", Kind: KindComponent}}
+		u.Data = map[string][]byte{}
+		u.Manifest.Attrs = map[string]string{}
+		for _, k := range []string{"z", "a", "m", "q", "b"} {
+			u.Data[k] = []byte(k)
+			u.Manifest.Attrs[k] = k
+		}
+		return u
+	}
+	h := build().Hash()
+	for i := 0; i < 20; i++ {
+		if build().Hash() != h {
+			t.Fatal("hash not deterministic over map iteration order")
+		}
+	}
+}
+
+func TestUnpackRejectsTruncated(t *testing.T) {
+	packed := sampleUnit().Pack()
+	for cut := 0; cut < len(packed); cut++ {
+		if _, err := Unpack(packed[:cut]); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestUnpackRejectsEmptyName(t *testing.T) {
+	u := &Unit{Manifest: Manifest{Name: "", Kind: KindData}}
+	if _, err := Unpack(u.Pack()); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+}
+
+func TestUnpackRejectsBadKind(t *testing.T) {
+	u := &Unit{Manifest: Manifest{Name: "x", Kind: Kind(200)}}
+	if _, err := Unpack(u.Pack()); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestUnpackRejectsTrailing(t *testing.T) {
+	packed := append(sampleUnit().Pack(), 0xFF)
+	if _, err := Unpack(packed); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+}
+
+func TestSizeMatchesPack(t *testing.T) {
+	u := sampleUnit()
+	if u.Size() != len(u.Pack()) {
+		t.Errorf("Size() = %d, Pack len = %d", u.Size(), len(u.Pack()))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	u := sampleUnit()
+	u.Sig = &Signature{Signer: "s", Sig: []byte{1, 2}}
+	c := u.Clone()
+	if !reflect.DeepEqual(c, u) {
+		t.Fatalf("Clone mismatch:\ngot  %+v\nwant %+v", c, u)
+	}
+	c.Code[0] = 0xEE
+	c.Data["table"][0] = 0xEE
+	c.Sig.Sig[0] = 0xEE
+	c.Manifest.Attrs["format"] = "changed"
+	c.Manifest.Deps[0].Name = "changed"
+	if u.Code[0] == 0xEE || u.Data["table"][0] == 0xEE || u.Sig.Sig[0] == 0xEE {
+		t.Error("Clone shares byte storage with original")
+	}
+	if u.Manifest.Attrs["format"] == "changed" || u.Manifest.Deps[0].Name == "changed" {
+		t.Error("Clone shares manifest storage with original")
+	}
+}
+
+func TestPackPropertyRoundTrip(t *testing.T) {
+	f := func(name, version, pub string, code, state []byte, key string, val []byte) bool {
+		if name == "" {
+			name = "n"
+		}
+		u := &Unit{
+			Manifest: Manifest{Name: name, Version: version, Kind: KindAgent, Publisher: pub},
+			Code:     code,
+			State:    state,
+		}
+		if key != "" {
+			u.Data = map[string][]byte{key: val}
+		}
+		got, err := Unpack(u.Pack())
+		if err != nil {
+			return false
+		}
+		return got.Hash() == u.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindComponent: "component", KindAgent: "agent",
+		KindRequest: "request", KindData: "data", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCompareVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0", "1.0", 0},
+		{"1.2", "1.2.0", 0},
+		{"1.0", "1.1", -1},
+		{"2.0", "1.9.9", 1},
+		{"1.10", "1.9", 1},
+		{"0.1", "0.0.9", 1},
+		{"", "", 0},
+		{"1.0-beta", "1.0-alpha", 1}, // lexical fallback on non-numeric
+		{"1.0", "1.0-beta", -1},      // "0" numeric vs "0-beta" lexical
+	}
+	for _, c := range cases {
+		if got := CompareVersions(c.a, c.b); got != c.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := CompareVersions(c.b, c.a); got != -c.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTrafficConservation drives a random field with random traffic and
+// checks global accounting invariants: no node receives more than was sent,
+// and sent = received + lost-or-in-flight once the simulator drains.
+func TestTrafficConservation(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(trial + 1)
+		sim := NewSim(seed)
+		net := NewNetwork(sim)
+		rng := rand.New(rand.NewSource(seed))
+
+		class := AdHoc // keep default loss: losses must be accounted, not avoided
+		n := 8
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("n%d", i)
+			net.AddNode(names[i], Position{X: rng.Float64() * 60, Y: rng.Float64() * 60}, class)
+			net.SetHandler(names[i], func(string, []byte) {})
+		}
+		sent := 0
+		for i := 0; i < 200; i++ {
+			a := names[rng.Intn(n)]
+			b := names[rng.Intn(n)]
+			if a == b {
+				continue
+			}
+			size := 1 + rng.Intn(2000)
+			if err := net.Send(a, b, make([]byte, size)); err == nil {
+				sent += size
+			}
+		}
+		sim.RunUntilIdle(0)
+
+		total := net.TotalUsage()
+		if total.BytesSent != int64(sent) {
+			t.Fatalf("trial %d: BytesSent = %d, want %d", trial, total.BytesSent, sent)
+		}
+		if total.BytesRecv > total.BytesSent {
+			t.Fatalf("trial %d: received %d > sent %d", trial, total.BytesRecv, total.BytesSent)
+		}
+		if total.MsgsRecv+total.MsgsLost != total.MsgsSent {
+			t.Fatalf("trial %d: msgs recv %d + lost %d != sent %d",
+				trial, total.MsgsRecv, total.MsgsLost, total.MsgsSent)
+		}
+		if total.Cost < 0 || total.Energy < 0 || total.Airtime < 0 {
+			t.Fatalf("trial %d: negative accounting: %+v", trial, total)
+		}
+	}
+}
+
+// TestRouteValidity checks that every route returned is a chain of
+// currently-connected hops with no repeated node, across random topologies.
+func TestRouteValidity(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		seed := int64(trial + 100)
+		sim := NewSim(seed)
+		net := NewNetwork(sim)
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("n%d", i)
+			net.AddNode(names[i], Position{X: rng.Float64() * 150, Y: rng.Float64() * 150}, AdHoc)
+		}
+		for i := 0; i < 30; i++ {
+			a := names[rng.Intn(n)]
+			b := names[rng.Intn(n)]
+			path := net.Route(a, b)
+			if path == nil {
+				continue
+			}
+			if path[0] != a || path[len(path)-1] != b {
+				t.Fatalf("trial %d: route %v does not span %s..%s", trial, path, a, b)
+			}
+			seen := map[string]bool{}
+			for _, hop := range path {
+				if seen[hop] {
+					t.Fatalf("trial %d: route %v revisits %s", trial, path, hop)
+				}
+				seen[hop] = true
+			}
+			for j := 0; j+1 < len(path); j++ {
+				if !net.Connected(path[j], path[j+1]) {
+					t.Fatalf("trial %d: route %v has disconnected hop %s-%s",
+						trial, path, path[j], path[j+1])
+				}
+			}
+		}
+	}
+}
+
+// TestRouteIsShortest cross-checks BFS routes against a brute-force
+// Floyd-Warshall hop count on small random topologies.
+func TestRouteIsShortest(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(trial + 500)
+		sim := NewSim(seed)
+		net := NewNetwork(sim)
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("n%d", i)
+			net.AddNode(names[i], Position{X: rng.Float64() * 100, Y: rng.Float64() * 100}, AdHoc)
+		}
+		const inf = 1 << 20
+		dist := make([][]int, n)
+		for i := range dist {
+			dist[i] = make([]int, n)
+			for j := range dist[i] {
+				switch {
+				case i == j:
+					dist[i][j] = 0
+				case net.Connected(names[i], names[j]):
+					dist[i][j] = 1
+				default:
+					dist[i][j] = inf
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if dist[i][k]+dist[k][j] < dist[i][j] {
+						dist[i][j] = dist[i][k] + dist[k][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				path := net.Route(names[i], names[j])
+				switch {
+				case dist[i][j] >= inf:
+					if path != nil {
+						t.Fatalf("trial %d: route exists for unreachable %s->%s", trial, names[i], names[j])
+					}
+				case path == nil:
+					t.Fatalf("trial %d: no route for reachable %s->%s (dist %d)", trial, names[i], names[j], dist[i][j])
+				case len(path)-1 != dist[i][j]:
+					t.Fatalf("trial %d: route %s->%s has %d hops, shortest is %d",
+						trial, names[i], names[j], len(path)-1, dist[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestMobilityDeterminism re-runs an identical mobile scenario and requires
+// byte-identical traffic accounting.
+func TestMobilityDeterminism(t *testing.T) {
+	run := func() Usage {
+		sim := NewSim(777)
+		net := NewNetwork(sim)
+		for i := 0; i < 6; i++ {
+			net.AddNode(fmt.Sprintf("n%d", i), Position{X: float64(i * 20)}, AdHoc)
+			net.SetHandler(fmt.Sprintf("n%d", i), func(string, []byte) {})
+		}
+		net.StartMobility(&RandomWaypoint{FieldW: 100, FieldH: 100, SpeedMin: 1, SpeedMax: 5, Pause: time.Second},
+			time.Second, "n0", "n1", "n2")
+		tick := 0
+		var send func()
+		send = func() {
+			tick++
+			if tick > 50 {
+				return
+			}
+			_ = net.Send(fmt.Sprintf("n%d", tick%6), fmt.Sprintf("n%d", (tick+1)%6), make([]byte, 100))
+			sim.Schedule(time.Second, send)
+		}
+		sim.Schedule(0, send)
+		sim.Run(2 * time.Minute)
+		return net.TotalUsage()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"time"
+)
+
+// MobilityModel updates node positions each tick. Implementations keep any
+// per-node state on the Node's waypoint fields or internally.
+type MobilityModel interface {
+	// Init is called once per node before the first step.
+	Init(n *Network, node *Node)
+	// Step advances node by dt of virtual time.
+	Step(n *Network, node *Node, dt time.Duration)
+}
+
+// RandomWaypoint is the classic ad-hoc mobility model: each node picks a
+// uniform random destination in the field, moves toward it at a uniform
+// random speed, pauses, and repeats.
+type RandomWaypoint struct {
+	// FieldW and FieldH bound the rectangular field in metres.
+	FieldW, FieldH float64
+	// SpeedMin and SpeedMax bound the uniform speed draw in metres/second.
+	SpeedMin, SpeedMax float64
+	// Pause is the dwell time at each waypoint.
+	Pause time.Duration
+}
+
+var _ MobilityModel = (*RandomWaypoint)(nil)
+
+// Init picks the node's first waypoint.
+func (m *RandomWaypoint) Init(n *Network, node *Node) {
+	m.pick(n, node)
+}
+
+func (m *RandomWaypoint) pick(n *Network, node *Node) {
+	rng := n.Sim().Rand()
+	node.target = Position{X: rng.Float64() * m.FieldW, Y: rng.Float64() * m.FieldH}
+	node.speed = m.SpeedMin + rng.Float64()*(m.SpeedMax-m.SpeedMin)
+}
+
+// Step moves the node toward its waypoint, pausing on arrival.
+func (m *RandomWaypoint) Step(n *Network, node *Node, dt time.Duration) {
+	now := n.Sim().Now()
+	if now < node.pauseTo {
+		return
+	}
+	dist := node.Pos.Dist(node.target)
+	travel := node.speed * dt.Seconds()
+	if travel >= dist {
+		node.Pos = node.target
+		node.pauseTo = now + m.Pause
+		m.pick(n, node)
+		return
+	}
+	frac := travel / dist
+	node.Pos.X += (node.target.X - node.Pos.X) * frac
+	node.Pos.Y += (node.target.Y - node.Pos.Y) * frac
+}
+
+// Static is a mobility model that never moves nodes. Useful for pinning
+// infrastructure nodes while others roam.
+type Static struct{}
+
+var _ MobilityModel = Static{}
+
+// Init implements MobilityModel.
+func (Static) Init(*Network, *Node) {}
+
+// Step implements MobilityModel.
+func (Static) Step(*Network, *Node, time.Duration) {}
+
+// Waypath moves a node along a fixed sequence of positions at a constant
+// speed, then stops. It models scripted walks such as a user approaching a
+// cinema.
+type Waypath struct {
+	Points []Position
+	Speed  float64
+
+	next map[string]int
+}
+
+var _ MobilityModel = (*Waypath)(nil)
+
+// Init implements MobilityModel.
+func (m *Waypath) Init(n *Network, node *Node) {
+	if m.next == nil {
+		m.next = make(map[string]int)
+	}
+	m.next[node.ID] = 0
+}
+
+// Step implements MobilityModel.
+func (m *Waypath) Step(n *Network, node *Node, dt time.Duration) {
+	i := m.next[node.ID]
+	if i >= len(m.Points) {
+		return
+	}
+	target := m.Points[i]
+	dist := node.Pos.Dist(target)
+	travel := m.Speed * dt.Seconds()
+	for travel >= dist {
+		node.Pos = target
+		travel -= dist
+		i++
+		m.next[node.ID] = i
+		if i >= len(m.Points) {
+			return
+		}
+		target = m.Points[i]
+		dist = node.Pos.Dist(target)
+	}
+	if dist > 0 {
+		frac := travel / dist
+		node.Pos.X += (target.X - node.Pos.X) * frac
+		node.Pos.Y += (target.Y - node.Pos.Y) * frac
+	}
+}
+
+// Mobility attaches a model to a set of nodes and advances them on a fixed
+// tick until stopped.
+type Mobility struct {
+	net    *Network
+	model  MobilityModel
+	nodes  []string
+	tick   time.Duration
+	event  *Event
+	active bool
+}
+
+// StartMobility begins moving the given nodes under model every tick of
+// virtual time. It returns a handle whose Stop halts movement.
+func (n *Network) StartMobility(model MobilityModel, tick time.Duration, nodeIDs ...string) *Mobility {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	m := &Mobility{net: n, model: model, nodes: nodeIDs, tick: tick, active: true}
+	for _, id := range nodeIDs {
+		if node := n.Node(id); node != nil {
+			model.Init(n, node)
+		}
+	}
+	m.schedule()
+	return m
+}
+
+func (m *Mobility) schedule() {
+	m.event = m.net.Sim().Schedule(m.tick, func() {
+		if !m.active {
+			return
+		}
+		for _, id := range m.nodes {
+			if node := m.net.Node(id); node != nil && node.Up {
+				m.model.Step(m.net, node, m.tick)
+			}
+		}
+		m.schedule()
+	})
+}
+
+// Stop halts movement. Safe to call more than once.
+func (m *Mobility) Stop() {
+	m.active = false
+	if m.event != nil {
+		m.event.Cancel()
+	}
+}

@@ -1,0 +1,472 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LinkClass describes the physical layer a node is attached to. Costs and
+// delays are charged per message from the sender's class parameters.
+type LinkClass struct {
+	// Name identifies the class in output tables.
+	Name string
+	// Infrastructure links reach every other up node on an infrastructure
+	// class regardless of position (e.g. GPRS, LAN). Non-infrastructure
+	// (ad-hoc) links require radio-range adjacency.
+	Infrastructure bool
+	// Latency is the fixed per-message propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the serialisation rate in bytes per second.
+	BandwidthBps float64
+	// Loss is the independent per-message drop probability in [0,1).
+	Loss float64
+	// CostPerByte is the monetary cost charged to the sender per byte.
+	CostPerByte float64
+	// EnergyPerByte is the battery energy charged to both endpoints per byte.
+	EnergyPerByte float64
+	// Range is the default radio range for nodes of this class.
+	Range float64
+}
+
+// Predefined link classes with parameters representative of the networking
+// systems the paper names (802.11b, Bluetooth piconets, GSM/GPRS, fixed LAN).
+var (
+	// AdHoc models a Bluetooth-piconet-style short-range free link.
+	AdHoc = LinkClass{
+		Name: "adhoc", Latency: 30 * time.Millisecond,
+		BandwidthBps: 90e3, Loss: 0.01, EnergyPerByte: 1.0, Range: 30,
+	}
+	// WLAN models an 802.11b access-network link.
+	WLAN = LinkClass{
+		Name: "wlan", Latency: 8 * time.Millisecond,
+		BandwidthBps: 650e3, Loss: 0.002, EnergyPerByte: 0.6, Range: 100,
+	}
+	// GPRS models a costed, slow, always-on cellular link.
+	GPRS = LinkClass{
+		Name: "gprs", Infrastructure: true, Latency: 600 * time.Millisecond,
+		BandwidthBps: 5e3, Loss: 0.005, CostPerByte: 0.00002, EnergyPerByte: 2.0, Range: math.Inf(1),
+	}
+	// LAN models a fixed wired link for servers.
+	LAN = LinkClass{
+		Name: "lan", Infrastructure: true, Latency: 1 * time.Millisecond,
+		BandwidthBps: 12.5e6, Range: math.Inf(1),
+	}
+)
+
+// Position is a point on the simulated field, in metres.
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Usage is the cumulative traffic account of one node.
+type Usage struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+	MsgsLost  int64
+	// Cost is the monetary cost charged for sent traffic.
+	Cost float64
+	// Energy is battery energy consumed by traffic in both directions.
+	Energy float64
+	// Airtime is the cumulative serialisation time of sent traffic.
+	Airtime time.Duration
+}
+
+// Add accumulates other into u.
+func (u *Usage) Add(other Usage) {
+	u.BytesSent += other.BytesSent
+	u.BytesRecv += other.BytesRecv
+	u.MsgsSent += other.MsgsSent
+	u.MsgsRecv += other.MsgsRecv
+	u.MsgsLost += other.MsgsLost
+	u.Cost += other.Cost
+	u.Energy += other.Energy
+	u.Airtime += other.Airtime
+}
+
+// Handler receives a message delivered to a node. Handlers run inside the
+// simulation loop and must not block.
+type Handler func(from string, payload []byte)
+
+// Node is a device attached to the network.
+type Node struct {
+	ID    string
+	Pos   Position
+	Class LinkClass
+	// Range overrides Class.Range when nonzero.
+	Range   float64
+	Up      bool
+	handler Handler
+	usage   Usage
+
+	// waypoint state used by RandomWaypoint.
+	target  Position
+	speed   float64
+	pauseTo time.Duration
+}
+
+// EffectiveRange returns the node's radio range.
+func (n *Node) EffectiveRange() float64 {
+	if n.Range > 0 {
+		return n.Range
+	}
+	return n.Class.Range
+}
+
+// Usage returns a copy of the node's cumulative traffic account.
+func (n *Node) Usage() Usage { return n.usage }
+
+// Network is a set of nodes over a shared field plus the rules that decide
+// which pairs can currently communicate.
+type Network struct {
+	sim   *Sim
+	nodes map[string]*Node
+	order []string // insertion order, for deterministic iteration
+	cuts  map[[2]string]bool
+	// DropHandler, when set, observes messages lost to link loss.
+	DropHandler func(from, to string, bytes int)
+}
+
+// NewNetwork returns an empty network driven by sim.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{
+		sim:   sim,
+		nodes: make(map[string]*Node),
+		cuts:  make(map[[2]string]bool),
+	}
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// AddNode attaches a new up node and returns it. It panics if the ID is
+// already in use; node IDs are chosen by the test or experiment author.
+func (n *Network) AddNode(id string, pos Position, class LinkClass) *Node {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", id))
+	}
+	node := &Node{ID: id, Pos: pos, Class: class, Up: true}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return node
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id string) *Node { return n.nodes[id] }
+
+// Nodes returns all node IDs in insertion order.
+func (n *Network) Nodes() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// SetHandler installs the delivery handler for node id.
+func (n *Network) SetHandler(id string, h Handler) {
+	node := n.nodes[id]
+	if node == nil {
+		panic(fmt.Sprintf("netsim: SetHandler on unknown node %q", id))
+	}
+	node.handler = h
+}
+
+// SetUp marks a node up or down. Down nodes neither send nor receive.
+func (n *Network) SetUp(id string, up bool) {
+	if node := n.nodes[id]; node != nil {
+		node.Up = up
+	}
+}
+
+// CutLink administratively severs the link between a and b regardless of
+// range, until RestoreLink.
+func (n *Network) CutLink(a, b string) {
+	n.cuts[linkKey(a, b)] = true
+}
+
+// RestoreLink undoes CutLink.
+func (n *Network) RestoreLink(a, b string) {
+	delete(n.cuts, linkKey(a, b))
+}
+
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Connected reports whether a and b can currently exchange messages in one
+// hop.
+func (n *Network) Connected(a, b string) bool {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil || !na.Up || !nb.Up || a == b {
+		return false
+	}
+	if n.cuts[linkKey(a, b)] {
+		return false
+	}
+	// Infrastructure nodes reach each other anywhere; ad-hoc pairs need
+	// mutual radio range.
+	if na.Class.Infrastructure && nb.Class.Infrastructure {
+		return true
+	}
+	if na.Class.Infrastructure != nb.Class.Infrastructure {
+		// A mixed pair (e.g. GPRS phone to LAN server) is connected through
+		// the carrier infrastructure.
+		return true
+	}
+	d := na.Pos.Dist(nb.Pos)
+	return d <= na.EffectiveRange() && d <= nb.EffectiveRange()
+}
+
+// Neighbors returns the IDs of all nodes currently connected to id, in
+// insertion order.
+func (n *Network) Neighbors(id string) []string {
+	var out []string
+	for _, other := range n.order {
+		if other != id && n.Connected(id, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Reachable reports whether a path of connected links exists from a to b.
+func (n *Network) Reachable(a, b string) bool {
+	return len(n.Route(a, b)) > 0
+}
+
+// Route returns a shortest hop path from a to b inclusive of both endpoints,
+// or nil if none exists. BFS over insertion order keeps it deterministic.
+func (n *Network) Route(a, b string) []string {
+	if a == b {
+		return []string{a}
+	}
+	if n.nodes[a] == nil || n.nodes[b] == nil {
+		return nil
+	}
+	prev := map[string]string{a: a}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range n.order {
+			if _, seen := prev[next]; seen || !n.Connected(cur, next) {
+				continue
+			}
+			prev[next] = cur
+			if next == b {
+				var path []string
+				for at := b; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == a {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// ErrUnreachable reports that no usable link exists for a send.
+type ErrUnreachable struct {
+	From, To string
+}
+
+func (e *ErrUnreachable) Error() string {
+	return fmt.Sprintf("netsim: %s cannot reach %s", e.From, e.To)
+}
+
+// bottleneck returns the effective link parameters of a pair: the slower
+// bandwidth and the larger latency of the two endpoint classes. A LAN server
+// talking to a GPRS phone moves data at GPRS speed.
+func bottleneck(a, b LinkClass) LinkClass {
+	eff := a
+	if b.BandwidthBps < eff.BandwidthBps {
+		eff.BandwidthBps = b.BandwidthBps
+	}
+	if b.Latency > eff.Latency {
+		eff.Latency = b.Latency
+	}
+	if b.Loss > eff.Loss {
+		eff.Loss = b.Loss
+	}
+	return eff
+}
+
+// transferTime returns the time to move size bytes over the effective link:
+// fixed latency plus serialisation at the bandwidth.
+func transferTime(class LinkClass, size int) time.Duration {
+	ser := time.Duration(float64(size) / class.BandwidthBps * float64(time.Second))
+	return class.Latency + ser
+}
+
+// Send transmits payload from one node to a directly connected node. The
+// message is delivered to the destination handler after the link's latency
+// and serialisation delay, or silently dropped with the link's loss
+// probability (the drop is still charged to the sender). Send returns an
+// error immediately if the nodes are not connected.
+func (n *Network) Send(from, to string, payload []byte) error {
+	src := n.nodes[from]
+	dst := n.nodes[to]
+	if src == nil || dst == nil {
+		return fmt.Errorf("netsim: send between unknown nodes %q -> %q", from, to)
+	}
+	if !n.Connected(from, to) {
+		return &ErrUnreachable{From: from, To: to}
+	}
+	n.transmit(src, dst, payload)
+	return nil
+}
+
+// transmit charges the endpoints and schedules delivery or loss. The sender
+// pays its own class's per-byte cost on transmission; the receiver pays its
+// own class's per-byte cost on reception (a GPRS subscriber is billed for
+// downlink bytes too). Serialisation runs at the bottleneck bandwidth of the
+// pair.
+func (n *Network) transmit(src, dst *Node, payload []byte) {
+	size := len(payload)
+	class := bottleneck(src.Class, dst.Class)
+	t := transferTime(class, size)
+	src.usage.BytesSent += int64(size)
+	src.usage.MsgsSent++
+	src.usage.Cost += src.Class.CostPerByte * float64(size)
+	src.usage.Energy += src.Class.EnergyPerByte * float64(size)
+	src.usage.Airtime += t
+
+	if n.sim.Rand().Float64() < class.Loss {
+		src.usage.MsgsLost++
+		if n.DropHandler != nil {
+			n.DropHandler(src.ID, dst.ID, size)
+		}
+		return
+	}
+	data := make([]byte, size)
+	copy(data, payload)
+	fromID, toID := src.ID, dst.ID
+	n.sim.Schedule(t, func() {
+		d := n.nodes[toID]
+		if d == nil || !d.Up || d.handler == nil {
+			return
+		}
+		d.usage.BytesRecv += int64(len(data))
+		d.usage.MsgsRecv++
+		d.usage.Cost += d.Class.CostPerByte * float64(len(data))
+		d.usage.Energy += d.Class.EnergyPerByte * float64(len(data))
+		d.usage.Airtime += t
+		d.handler(fromID, data)
+	})
+}
+
+// Broadcast transmits payload from a node to every current neighbor. It
+// returns the number of neighbors targeted. Each copy is charged and lost
+// independently.
+func (n *Network) Broadcast(from string, payload []byte) int {
+	src := n.nodes[from]
+	if src == nil || !src.Up {
+		return 0
+	}
+	neighbors := n.Neighbors(from)
+	for _, id := range neighbors {
+		n.transmit(src, n.nodes[id], payload)
+	}
+	return len(neighbors)
+}
+
+// SendRouted transmits payload along the current shortest path, charging
+// every hop. It returns the hop count used, or an error if no path exists at
+// send time. Intermediate hops are simulated store-and-forward relays.
+func (n *Network) SendRouted(from, to string, payload []byte) (int, error) {
+	path := n.Route(from, to)
+	if path == nil {
+		return 0, &ErrUnreachable{From: from, To: to}
+	}
+	if len(path) == 1 {
+		return 0, fmt.Errorf("netsim: routed send to self %q", from)
+	}
+	n.forwardAlong(path, payload)
+	return len(path) - 1, nil
+}
+
+// forwardAlong performs hop-by-hop transmission with per-hop delay. Each hop
+// is charged when it occurs; if the topology changed and a hop is no longer
+// connected, the message is re-routed from the current position, and dropped
+// if no route remains.
+func (n *Network) forwardAlong(path []string, payload []byte) {
+	if len(path) < 2 {
+		return
+	}
+	cur, next := path[0], path[1]
+	src, dst := n.nodes[cur], n.nodes[next]
+	if src == nil || dst == nil {
+		return
+	}
+	if !n.Connected(cur, next) {
+		if rerouted := n.Route(cur, path[len(path)-1]); rerouted != nil {
+			n.forwardAlong(rerouted, payload)
+		}
+		return
+	}
+	if len(path) == 2 {
+		n.transmit(src, dst, payload)
+		return
+	}
+	// Relay hop: charge the link, then continue after the transfer delay.
+	size := len(payload)
+	hop := bottleneck(src.Class, dst.Class)
+	t := transferTime(hop, size)
+	src.usage.BytesSent += int64(size)
+	src.usage.MsgsSent++
+	src.usage.Cost += src.Class.CostPerByte * float64(size)
+	src.usage.Energy += src.Class.EnergyPerByte * float64(size)
+	src.usage.Airtime += t
+	if n.sim.Rand().Float64() < hop.Loss {
+		src.usage.MsgsLost++
+		return
+	}
+	rest := make([]string, len(path)-1)
+	copy(rest, path[1:])
+	n.sim.Schedule(t, func() {
+		relay := n.nodes[rest[0]]
+		if relay == nil || !relay.Up {
+			return
+		}
+		relay.usage.BytesRecv += int64(size)
+		relay.usage.MsgsRecv++
+		relay.usage.Energy += relay.Class.EnergyPerByte * float64(size)
+		n.forwardAlong(rest, payload)
+	})
+}
+
+// TotalUsage sums the usage of all nodes.
+func (n *Network) TotalUsage() Usage {
+	var total Usage
+	for _, id := range n.order {
+		total.Add(n.nodes[id].usage)
+	}
+	return total
+}
+
+// UsageOf returns the usage account of one node.
+func (n *Network) UsageOf(id string) Usage {
+	if node := n.nodes[id]; node != nil {
+		return node.usage
+	}
+	return Usage{}
+}
+
+// ResetUsage zeroes all traffic accounts, e.g. after a warm-up phase.
+func (n *Network) ResetUsage() {
+	for _, id := range n.order {
+		n.nodes[id].usage = Usage{}
+	}
+}

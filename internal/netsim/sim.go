@@ -1,0 +1,169 @@
+// Package netsim is a deterministic discrete-event simulator of the wireless
+// environments the paper targets: ad-hoc piconets, wireless LANs, GPRS-style
+// costed infrastructure links and fixed LANs.
+//
+// The simulator provides a virtual clock, a cancellable event queue, a node
+// and link model with radio range, per-class bandwidth/latency/loss, per-byte
+// monetary cost and energy, node mobility models, and exact per-node traffic
+// accounting. All experiment claims about traffic volume, airtime and
+// connectivity cost are measured against this substrate.
+//
+// Everything is single-goroutine: handlers run inside Run and must not block.
+// Determinism comes from the virtual clock plus a seeded PRNG; a given seed
+// always reproduces the same run.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event scheduler with a virtual clock.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// NewSim returns a simulator whose PRNG is seeded with seed. Identical seeds
+// yield identical runs.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's seeded PRNG.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Event is a scheduled callback. Cancel prevents a pending event from firing.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. Events scheduled for the same instant fire in scheduling order.
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e := &Event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Step fires the earliest pending event. It returns false when no events
+// remain.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the virtual clock would pass until, then sets the
+// clock to until. Events at exactly until do fire.
+func (s *Sim) Run(until time.Duration) {
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if e.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.fn()
+	}
+	if until > s.now {
+		s.now = until
+	}
+}
+
+// RunFor advances the clock by d, firing events due in that window.
+func (s *Sim) RunFor(d time.Duration) {
+	s.Run(s.now + d)
+}
+
+// RunUntilIdle fires events until the queue is empty. It panics after
+// maxEvents events as a guard against runaway recurring schedules; pass 0 for
+// the default of 50 million.
+func (s *Sim) RunUntilIdle(maxEvents int) {
+	if maxEvents <= 0 {
+		maxEvents = 50_000_000
+	}
+	for i := 0; s.Step(); i++ {
+		if i >= maxEvents {
+			panic(fmt.Sprintf("netsim: RunUntilIdle exceeded %d events", maxEvents))
+		}
+	}
+}
+
+// Pending returns the number of events in the queue, including cancelled
+// events that have not yet been discarded.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// After implements the transport.Scheduler contract: it schedules fn after d
+// and returns a cancel function.
+func (s *Sim) After(d time.Duration, fn func()) func() {
+	e := s.Schedule(d, fn)
+	return e.Cancel
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,335 @@
+// Package policy implements paradigm selection: the middleware's run-time
+// assessment of which mobile-code paradigm — Client/Server, Remote
+// Evaluation, Code On Demand or Mobile Agent — best fits an interaction.
+//
+// The paper: "Different mobile code paradigms could be plugged-in
+// dynamically and used when needed after assessment of the environment and
+// application", citing the PrimaMob-UML performance-analysis approach. This
+// package provides the analytic traffic model for the four paradigms (after
+// Fuggetta, Picco and Vigna's decomposition) and two deciders over it: a
+// pure cost-model decider and a context-driven rule decider.
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/ctxsvc"
+)
+
+// Paradigm is one of the four mobile-interaction forms the paper adopts.
+type Paradigm uint8
+
+// The four paradigms.
+const (
+	// CS is Client/Server: every interaction crosses the link.
+	CS Paradigm = iota + 1
+	// REV is Remote Evaluation: ship code to the resource, get results.
+	REV
+	// COD is Code On Demand: fetch code once, interact locally thereafter.
+	COD
+	// MA is Mobile Agent: ship code and state, let it roam, get state back.
+	MA
+)
+
+// String returns the conventional acronym.
+func (p Paradigm) String() string {
+	switch p {
+	case CS:
+		return "CS"
+	case REV:
+		return "REV"
+	case COD:
+		return "COD"
+	case MA:
+		return "MA"
+	default:
+		return fmt.Sprintf("paradigm(%d)", uint8(p))
+	}
+}
+
+// Paradigms lists all four in canonical order.
+func Paradigms() []Paradigm { return []Paradigm{CS, REV, COD, MA} }
+
+// Task describes an interaction pattern between a device and a remote
+// resource, in the units of the Fuggetta/Picco/Vigna traffic model.
+type Task struct {
+	// Interactions is the number of request/response rounds N.
+	Interactions int64
+	// ReqBytes and ReplyBytes size one request and one reply.
+	ReqBytes, ReplyBytes int64
+	// CodeBytes sizes the mobile code implementing the interaction logic.
+	CodeBytes int64
+	// StateBytes sizes an agent's carried data/state.
+	StateBytes int64
+	// ResultBytes sizes the final result returned to the device.
+	ResultBytes int64
+	// ComputeUnits is the total computation the interactions require, in
+	// reference-CPU seconds.
+	ComputeUnits float64
+	// Hosts is the number of remote hosts an agent must visit (MA only);
+	// 0 or 1 means a single destination.
+	Hosts int64
+}
+
+// Link characterises the device's current link for cost estimation.
+type Link struct {
+	// BandwidthBps is bytes per second.
+	BandwidthBps float64
+	// RTT is the round-trip latency.
+	RTT time.Duration
+	// CostPerByte is monetary cost per byte.
+	CostPerByte float64
+}
+
+// Env characterises the compute environment.
+type Env struct {
+	// LocalCPUFactor is the device's speed relative to the reference CPU.
+	LocalCPUFactor float64
+	// RemoteCPUFactor is the remote host's speed.
+	RemoteCPUFactor float64
+}
+
+// Traffic returns the bytes this task moves over the device's link under
+// each paradigm, per the model:
+//
+//	CS:  N*(req+reply)                 every round crosses the link
+//	REV: code + req + result           ship logic once, get the result
+//	COD: code + reply + N*0            fetch the component once, then local
+//	MA:  code + state + state'         agent leaves once and returns once
+//
+// For MA with multiple hosts, only the first hop and the return cross the
+// *device's* link; inter-server hops are charged elsewhere.
+func Traffic(p Paradigm, t Task) int64 {
+	switch p {
+	case CS:
+		return t.Interactions * (t.ReqBytes + t.ReplyBytes)
+	case REV:
+		return t.CodeBytes + t.ReqBytes + t.ResultBytes
+	case COD:
+		// The component is fetched once; interactions are then local.
+		return t.CodeBytes + t.ReplyBytes
+	case MA:
+		return t.CodeBytes + t.StateBytes + t.StateBytes + t.ResultBytes
+	default:
+		return 0
+	}
+}
+
+// Latency estimates wall-clock completion time for the task under each
+// paradigm on the given link and environment. It combines transfer time,
+// per-round RTTs and compute time at the executing side.
+func Latency(p Paradigm, t Task, l Link, e Env) time.Duration {
+	if l.BandwidthBps <= 0 {
+		l.BandwidthBps = 1
+	}
+	local := cpuFactorOr(e.LocalCPUFactor)
+	remote := cpuFactorOr(e.RemoteCPUFactor)
+	xfer := func(bytes int64) time.Duration {
+		return time.Duration(float64(bytes) / l.BandwidthBps * float64(time.Second))
+	}
+	compute := func(factor float64) time.Duration {
+		return time.Duration(t.ComputeUnits / factor * float64(time.Second))
+	}
+	switch p {
+	case CS:
+		// N rounds, each paying one RTT plus transfer; compute is remote.
+		rounds := time.Duration(t.Interactions) * l.RTT
+		return rounds + xfer(t.Interactions*(t.ReqBytes+t.ReplyBytes)) + compute(remote)
+	case REV:
+		return 2*l.RTT + xfer(t.CodeBytes+t.ReqBytes+t.ResultBytes) + compute(remote)
+	case COD:
+		// One fetch round trip, then local interaction and compute.
+		return l.RTT + xfer(t.CodeBytes+t.ReplyBytes) + compute(local)
+	case MA:
+		hops := t.Hosts
+		if hops < 1 {
+			hops = 1
+		}
+		// Device pays first and last hop; intermediate hops assumed on
+		// fast infrastructure and charged one RTT each.
+		return time.Duration(hops+1)*l.RTT + xfer(t.CodeBytes+2*t.StateBytes+t.ResultBytes) + compute(remote)
+	default:
+		return 0
+	}
+}
+
+// Cost returns the monetary cost of the task under each paradigm on the
+// given link.
+func Cost(p Paradigm, t Task, l Link) float64 {
+	return float64(Traffic(p, t)) * l.CostPerByte
+}
+
+func cpuFactorOr(f float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// Estimate bundles the per-paradigm predictions for a task.
+type Estimate struct {
+	Paradigm Paradigm
+	Bytes    int64
+	Latency  time.Duration
+	Cost     float64
+}
+
+// EstimateAll evaluates all four paradigms for the task.
+func EstimateAll(t Task, l Link, e Env) []Estimate {
+	out := make([]Estimate, 0, 4)
+	for _, p := range Paradigms() {
+		out = append(out, Estimate{
+			Paradigm: p,
+			Bytes:    Traffic(p, t),
+			Latency:  Latency(p, t, l, e),
+			Cost:     Cost(p, t, l),
+		})
+	}
+	return out
+}
+
+// Objective weights the decider's optimisation.
+type Objective struct {
+	// BytesWeight, LatencyWeight (per second) and CostWeight scale the
+	// three estimate dimensions into one score. Zero-value objective
+	// minimises bytes only.
+	BytesWeight   float64
+	LatencyWeight float64
+	CostWeight    float64
+}
+
+// DefaultObjective minimises traffic with a mild latency term.
+func DefaultObjective() Objective {
+	return Objective{BytesWeight: 1, LatencyWeight: 100}
+}
+
+func (o Objective) score(e Estimate) float64 {
+	if o.BytesWeight == 0 && o.LatencyWeight == 0 && o.CostWeight == 0 {
+		o.BytesWeight = 1
+	}
+	return o.BytesWeight*float64(e.Bytes) +
+		o.LatencyWeight*e.Latency.Seconds() +
+		o.CostWeight*e.Cost
+}
+
+// Decider chooses a paradigm for a task given the host's current context.
+type Decider interface {
+	// Name identifies the decider in experiment tables.
+	Name() string
+	// Choose returns the selected paradigm. ctx may be nil.
+	Choose(t Task, ctx *ctxsvc.Service) Paradigm
+}
+
+// CostDecider picks the paradigm minimising the weighted objective under the
+// analytic model, reading link parameters from context when available.
+type CostDecider struct {
+	Objective Objective
+	// Allowed restricts the choice; empty means all four.
+	Allowed []Paradigm
+}
+
+var _ Decider = (*CostDecider)(nil)
+
+// Name implements Decider.
+func (d *CostDecider) Name() string { return "cost-model" }
+
+// LinkFromContext derives Link parameters from context attributes, with
+// sensible defaults for unset keys.
+func LinkFromContext(ctx *ctxsvc.Service) Link {
+	l := Link{BandwidthBps: 650e3, RTT: 20 * time.Millisecond}
+	if ctx == nil {
+		return l
+	}
+	l.BandwidthBps = ctx.GetNum(ctxsvc.KeyBandwidth, l.BandwidthBps)
+	l.RTT = time.Duration(ctx.GetNum(ctxsvc.KeyLatency, l.RTT.Seconds()) * float64(time.Second))
+	l.CostPerByte = ctx.GetNum(ctxsvc.KeyCostPerByte, 0)
+	return l
+}
+
+// EnvFromContext derives Env from context attributes.
+func EnvFromContext(ctx *ctxsvc.Service) Env {
+	e := Env{LocalCPUFactor: 1, RemoteCPUFactor: 1}
+	if ctx == nil {
+		return e
+	}
+	e.LocalCPUFactor = ctx.GetNum(ctxsvc.KeyCPUFactor, 1)
+	e.RemoteCPUFactor = ctx.GetNum("remote."+ctxsvc.KeyCPUFactor, 1)
+	return e
+}
+
+// Choose implements Decider.
+func (d *CostDecider) Choose(t Task, ctx *ctxsvc.Service) Paradigm {
+	link := LinkFromContext(ctx)
+	env := EnvFromContext(ctx)
+	allowed := d.Allowed
+	if len(allowed) == 0 {
+		allowed = Paradigms()
+	}
+	obj := d.Objective
+	best := allowed[0]
+	bestScore := 0.0
+	for i, p := range allowed {
+		est := Estimate{
+			Paradigm: p,
+			Bytes:    Traffic(p, t),
+			Latency:  Latency(p, t, link, env),
+			Cost:     Cost(p, t, link),
+		}
+		score := obj.score(est)
+		if i == 0 || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// RuleDecider applies the simple context rules a deployment might configure
+// instead of the full model: expensive links push toward agents, repeated
+// local use pushes toward COD, weak devices push toward REV.
+type RuleDecider struct {
+	// ExpensiveCostPerByte is the threshold above which the link counts as
+	// expensive (e.g. GPRS).
+	ExpensiveCostPerByte float64
+	// ManyInteractions is the threshold above which COD amortises.
+	ManyInteractions int64
+	// WeakCPUFactor is the threshold below which the device offloads.
+	WeakCPUFactor float64
+}
+
+var _ Decider = (*RuleDecider)(nil)
+
+// DefaultRules returns thresholds matching the predefined link classes.
+func DefaultRules() *RuleDecider {
+	return &RuleDecider{
+		ExpensiveCostPerByte: 1e-6,
+		ManyInteractions:     8,
+		WeakCPUFactor:        0.5,
+	}
+}
+
+// Name implements Decider.
+func (d *RuleDecider) Name() string { return "rules" }
+
+// Choose implements Decider.
+func (d *RuleDecider) Choose(t Task, ctx *ctxsvc.Service) Paradigm {
+	costPerByte := 0.0
+	cpu := 1.0
+	if ctx != nil {
+		costPerByte = ctx.GetNum(ctxsvc.KeyCostPerByte, 0)
+		cpu = ctx.GetNum(ctxsvc.KeyCPUFactor, 1)
+	}
+	switch {
+	case costPerByte >= d.ExpensiveCostPerByte && d.ExpensiveCostPerByte > 0:
+		// Paying per byte: send an agent out once rather than chat.
+		return MA
+	case cpu < d.WeakCPUFactor && t.ComputeUnits > 0:
+		// Weak device with real compute: offload.
+		return REV
+	case t.Interactions >= d.ManyInteractions && t.CodeBytes > 0:
+		// Heavy repeated use of one capability: fetch it.
+		return COD
+	default:
+		return CS
+	}
+}

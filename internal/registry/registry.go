@@ -1,0 +1,420 @@
+// Package registry implements the local component store of a logmob host.
+//
+// The paper's "Limited Resources and Dynamic Update" scenario drives the
+// design: devices cannot preload code for every possible use, so they fetch
+// components on demand, keep them while useful, and "when the code is no
+// longer needed, the device can choose to delete it, conserving resources".
+// The registry holds versioned Logical Mobility Units under a storage quota
+// and evicts unpinned units under a pluggable policy when space runs out.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"logmob/internal/lmu"
+)
+
+// Errors returned by Put and Resolve.
+var (
+	// ErrQuotaExceeded reports that a unit cannot fit even after evicting
+	// everything evictable.
+	ErrQuotaExceeded = errors.New("registry: unit does not fit in quota")
+	// ErrNotFound reports a missing unit or dependency.
+	ErrNotFound = errors.New("registry: unit not found")
+)
+
+// Entry is a stored unit plus its bookkeeping, exposed to eviction policies.
+type Entry struct {
+	Unit *lmu.Unit
+	// Size is the unit's packed size, the quota currency.
+	Size int64
+	// Pinned entries are never evicted.
+	Pinned bool
+	// Added is when the entry was stored.
+	Added time.Duration
+	// LastUsed is when the entry was last returned by a lookup.
+	LastUsed time.Duration
+	// Uses counts lookups that returned this entry.
+	Uses int64
+}
+
+func (e *Entry) key() string {
+	return e.Unit.Manifest.Name + "@" + e.Unit.Manifest.Version
+}
+
+// EvictionPolicy chooses which unpinned entry to evict when space is needed.
+type EvictionPolicy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Victim picks one of candidates to evict. candidates is non-empty and
+	// contains only unpinned entries.
+	Victim(candidates []*Entry) *Entry
+}
+
+// LRU evicts the least recently used entry.
+type LRU struct{}
+
+// Name implements EvictionPolicy.
+func (LRU) Name() string { return "lru" }
+
+// Victim implements EvictionPolicy.
+func (LRU) Victim(candidates []*Entry) *Entry {
+	victim := candidates[0]
+	for _, e := range candidates[1:] {
+		if e.LastUsed < victim.LastUsed {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// LFU evicts the least frequently used entry, breaking ties by recency.
+type LFU struct{}
+
+// Name implements EvictionPolicy.
+func (LFU) Name() string { return "lfu" }
+
+// Victim implements EvictionPolicy.
+func (LFU) Victim(candidates []*Entry) *Entry {
+	victim := candidates[0]
+	for _, e := range candidates[1:] {
+		if e.Uses < victim.Uses || (e.Uses == victim.Uses && e.LastUsed < victim.LastUsed) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// SizeGreedy evicts the largest entry, freeing the most space per eviction.
+type SizeGreedy struct{}
+
+// Name implements EvictionPolicy.
+func (SizeGreedy) Name() string { return "size-greedy" }
+
+// Victim implements EvictionPolicy.
+func (SizeGreedy) Victim(candidates []*Entry) *Entry {
+	victim := candidates[0]
+	for _, e := range candidates[1:] {
+		if e.Size > victim.Size {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Stats counts registry activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Puts      int64
+	Rejects   int64
+	// BytesEvicted is the cumulative size of evicted units.
+	BytesEvicted int64
+}
+
+// Registry is a quota-bounded store of versioned units. Safe for concurrent
+// use.
+type Registry struct {
+	mu      sync.Mutex
+	quota   int64
+	used    int64
+	policy  EvictionPolicy
+	now     func() time.Duration
+	entries map[string][]*Entry // name -> entries, any version order
+	stats   Stats
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock sets the time source used for recency bookkeeping; the
+// middleware passes its scheduler clock so simulated time drives eviction.
+func WithClock(now func() time.Duration) Option {
+	return func(r *Registry) { r.now = now }
+}
+
+// WithPolicy sets the eviction policy. Default is LRU.
+func WithPolicy(p EvictionPolicy) Option {
+	return func(r *Registry) { r.policy = p }
+}
+
+// New returns a registry with the given storage quota in bytes. A quota of 0
+// means unlimited.
+func New(quota int64, opts ...Option) *Registry {
+	r := &Registry{
+		quota:   quota,
+		policy:  LRU{},
+		entries: make(map[string][]*Entry),
+	}
+	var fallback time.Duration
+	r.now = func() time.Duration { fallback += time.Nanosecond; return fallback }
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Quota returns the configured quota (0 = unlimited).
+func (r *Registry) Quota() int64 { return r.quota }
+
+// Used returns the bytes currently stored.
+func (r *Registry) Used() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Stats returns a snapshot of the activity counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// PolicyName returns the active eviction policy's name.
+func (r *Registry) PolicyName() string { return r.policy.Name() }
+
+// Put stores a unit, replacing any entry with the same name and version and
+// evicting unpinned entries as needed. It fails with ErrQuotaExceeded if the
+// unit cannot fit.
+func (r *Registry) Put(u *lmu.Unit) error {
+	size := int64(u.Size())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.quota > 0 && size > r.quota {
+		r.stats.Rejects++
+		return fmt.Errorf("%w: %s is %d bytes, quota %d", ErrQuotaExceeded, u.Manifest.Name, size, r.quota)
+	}
+	// Replace an identical name@version in place.
+	name := u.Manifest.Name
+	for _, e := range r.entries[name] {
+		if e.Unit.Manifest.Version == u.Manifest.Version {
+			r.used += size - e.Size
+			e.Unit = u.Clone()
+			e.Size = size
+			e.Added = r.now()
+			r.stats.Puts++
+			return nil
+		}
+	}
+	if err := r.makeRoom(size); err != nil {
+		r.stats.Rejects++
+		return fmt.Errorf("%w: %s needs %d bytes", err, u.Manifest.Name, size)
+	}
+	now := r.now()
+	e := &Entry{Unit: u.Clone(), Size: size, Added: now, LastUsed: now}
+	r.entries[name] = append(r.entries[name], e)
+	r.used += size
+	r.stats.Puts++
+	return nil
+}
+
+// makeRoom evicts until size fits. Caller holds the lock.
+func (r *Registry) makeRoom(size int64) error {
+	if r.quota <= 0 {
+		return nil
+	}
+	for r.used+size > r.quota {
+		candidates := r.evictable()
+		if len(candidates) == 0 {
+			return ErrQuotaExceeded
+		}
+		victim := r.policy.Victim(candidates)
+		r.removeEntry(victim)
+		r.stats.Evictions++
+		r.stats.BytesEvicted += victim.Size
+	}
+	return nil
+}
+
+// evictable returns unpinned entries in deterministic (name, version) order.
+// Caller holds the lock.
+func (r *Registry) evictable() []*Entry {
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	insertionSort(names)
+	var out []*Entry
+	for _, name := range names {
+		for _, e := range r.entries[name] {
+			if !e.Pinned {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+func insertionSort(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// removeEntry unlinks e. Caller holds the lock.
+func (r *Registry) removeEntry(victim *Entry) {
+	name := victim.Unit.Manifest.Name
+	list := r.entries[name]
+	for i, e := range list {
+		if e == victim {
+			r.entries[name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(r.entries[name]) == 0 {
+		delete(r.entries, name)
+	}
+	r.used -= victim.Size
+}
+
+// Get returns the newest stored version of name, counting a hit or miss and
+// refreshing recency.
+func (r *Registry) Get(name string) (*lmu.Unit, bool) {
+	return r.GetAtLeast(name, "")
+}
+
+// GetAtLeast returns the newest stored version of name that is >= minVersion
+// ("" accepts any).
+func (r *Registry) GetAtLeast(name, minVersion string) (*lmu.Unit, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.best(name, minVersion)
+	if e == nil {
+		r.stats.Misses++
+		return nil, false
+	}
+	e.LastUsed = r.now()
+	e.Uses++
+	r.stats.Hits++
+	return e.Unit, true
+}
+
+// best returns the newest entry of name satisfying minVersion. Caller holds
+// the lock.
+func (r *Registry) best(name, minVersion string) *Entry {
+	var found *Entry
+	for _, e := range r.entries[name] {
+		if minVersion != "" && lmu.CompareVersions(e.Unit.Manifest.Version, minVersion) < 0 {
+			continue
+		}
+		if found == nil || lmu.CompareVersions(e.Unit.Manifest.Version, found.Unit.Manifest.Version) > 0 {
+			found = e
+		}
+	}
+	return found
+}
+
+// Has reports whether any version of name is stored, without touching the
+// hit/miss counters or recency.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries[name]) > 0
+}
+
+// Remove deletes a specific version. It reports whether it was present.
+func (r *Registry) Remove(name, version string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries[name] {
+		if e.Unit.Manifest.Version == version {
+			r.removeEntry(e)
+			return true
+		}
+	}
+	return false
+}
+
+// Pin marks a version unevictable (or evictable again). It reports whether
+// the version was present.
+func (r *Registry) Pin(name, version string, pinned bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries[name] {
+		if e.Unit.Manifest.Version == version {
+			e.Pinned = pinned
+			return true
+		}
+	}
+	return false
+}
+
+// List returns the manifests of all stored units in deterministic order.
+func (r *Registry) List() []lmu.Manifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	insertionSort(names)
+	var out []lmu.Manifest
+	for _, name := range names {
+		for _, e := range r.entries[name] {
+			out = append(out, e.Unit.Manifest)
+		}
+	}
+	return out
+}
+
+// ExpireIdle removes every unpinned unit whose last use is older than
+// maxIdle, returning the number removed — the paper's "when the code is no
+// longer needed, the device can choose to delete it, conserving resources"
+// as a proactive sweep rather than quota-pressure eviction.
+func (r *Registry) ExpireIdle(maxIdle time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now() - maxIdle
+	removed := 0
+	for _, e := range r.evictable() {
+		if e.LastUsed < cutoff {
+			r.removeEntry(e)
+			r.stats.Evictions++
+			r.stats.BytesEvicted += e.Size
+			removed++
+		}
+	}
+	return removed
+}
+
+// Resolve returns the unit plus the transitive closure of its dependencies,
+// newest satisfying versions first encountered, in dependency-before-
+// dependent order. It fails with ErrNotFound naming the first missing
+// dependency.
+func (r *Registry) Resolve(name string) ([]*lmu.Unit, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var order []*lmu.Unit
+	visited := make(map[string]bool)
+	var visit func(name, minVersion string) error
+	visit = func(name, minVersion string) error {
+		if visited[name] {
+			return nil
+		}
+		e := r.best(name, minVersion)
+		if e == nil {
+			return fmt.Errorf("%w: %s (min version %q)", ErrNotFound, name, minVersion)
+		}
+		visited[name] = true
+		for _, d := range e.Unit.Manifest.Deps {
+			if err := visit(d.Name, d.MinVersion); err != nil {
+				return err
+			}
+		}
+		e.LastUsed = r.now()
+		e.Uses++
+		order = append(order, e.Unit)
+		return nil
+	}
+	if err := visit(name, ""); err != nil {
+		return nil, err
+	}
+	return order, nil
+}

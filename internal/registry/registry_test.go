@@ -1,0 +1,438 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"logmob/internal/lmu"
+)
+
+// unit builds a component of roughly the given payload size.
+func unit(name, version string, payload int) *lmu.Unit {
+	return &lmu.Unit{
+		Manifest: lmu.Manifest{Name: name, Version: version, Kind: lmu.KindComponent},
+		Code:     make([]byte, payload),
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	r := New(0)
+	u := unit("codec/ogg", "1.0", 100)
+	if err := r.Put(u); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := r.Get("codec/ogg")
+	if !ok {
+		t.Fatal("Get miss")
+	}
+	if got.Manifest.Version != "1.0" {
+		t.Errorf("Version = %q", got.Manifest.Version)
+	}
+	if _, ok := r.Get("codec/none"); ok {
+		t.Error("Get hit on absent unit")
+	}
+	s := r.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestPutClonesUnit(t *testing.T) {
+	r := New(0)
+	u := unit("c", "1.0", 10)
+	if err := r.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	u.Code[0] = 0xFF // mutate after Put
+	got, _ := r.Get("c")
+	if got.Code[0] == 0xFF {
+		t.Error("registry aliases caller's unit")
+	}
+}
+
+func TestNewestVersionWins(t *testing.T) {
+	r := New(0)
+	for _, v := range []string{"1.0", "1.10", "1.2"} {
+		if err := r.Put(unit("c", v, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := r.Get("c")
+	if !ok || got.Manifest.Version != "1.10" {
+		t.Errorf("Get = %v, want 1.10 (numeric compare)", got.Manifest.Version)
+	}
+}
+
+func TestGetAtLeast(t *testing.T) {
+	r := New(0)
+	if err := r.Put(unit("c", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(unit("c", "2.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.GetAtLeast("c", "1.5")
+	if !ok || got.Manifest.Version != "2.0" {
+		t.Errorf("GetAtLeast(1.5) = %v, %v", got, ok)
+	}
+	if _, ok := r.GetAtLeast("c", "3.0"); ok {
+		t.Error("GetAtLeast(3.0) should miss")
+	}
+}
+
+func TestReplaceSameVersion(t *testing.T) {
+	r := New(1000)
+	if err := r.Put(unit("c", "1.0", 100)); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Used()
+	if err := r.Put(unit("c", "1.0", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Used() <= before {
+		t.Errorf("Used = %d, want growth after replacing with larger unit", r.Used())
+	}
+	mans := r.List()
+	if len(mans) != 1 {
+		t.Fatalf("List has %d entries, want 1", len(mans))
+	}
+}
+
+func TestQuotaEvictionLRU(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { now += time.Second; return now }
+	quota := int64(3 * unitSize(100))
+	r := New(quota, WithClock(clock), WithPolicy(LRU{}))
+	for i := 0; i < 3; i++ {
+		if err := r.Put(unit(fmt.Sprintf("c%d", i), "1.0", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch c0 and c2 so c1 is least recently used.
+	r.Get("c0")
+	r.Get("c2")
+	if err := r.Put(unit("c3", "1.0", 100)); err != nil {
+		t.Fatalf("Put c3: %v", err)
+	}
+	if r.Has("c1") {
+		t.Error("c1 should have been evicted (LRU)")
+	}
+	for _, want := range []string{"c0", "c2", "c3"} {
+		if !r.Has(want) {
+			t.Errorf("%s missing", want)
+		}
+	}
+	if s := r.Stats(); s.Evictions != 1 || s.BytesEvicted == 0 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestQuotaEvictionLFU(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { now += time.Second; return now }
+	r := New(3*unitSize(100), WithClock(clock), WithPolicy(LFU{}))
+	for i := 0; i < 3; i++ {
+		if err := r.Put(unit(fmt.Sprintf("c%d", i), "1.0", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Get("c0")
+	r.Get("c0")
+	r.Get("c1")
+	r.Get("c2")
+	r.Get("c2") // c1 now least frequently used
+	if err := r.Put(unit("c3", "1.0", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("c1") {
+		t.Error("c1 should have been evicted (LFU)")
+	}
+}
+
+func TestQuotaEvictionSizeGreedy(t *testing.T) {
+	small := unit("small", "1.0", 50)
+	medium := unit("medium", "1.0", 100)
+	large := unit("large", "1.0", 300)
+	quota := int64(small.Size() + medium.Size() + large.Size())
+	r := New(quota, WithPolicy(SizeGreedy{}))
+	for _, u := range []*lmu.Unit{small, medium, large} {
+		if err := r.Put(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Put(unit("new", "1.0", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("large") {
+		t.Error("large should have been evicted (size-greedy)")
+	}
+	if !r.Has("small") || !r.Has("medium") {
+		t.Error("smaller entries should survive")
+	}
+}
+
+// unitSize returns the packed size of a canonical test unit with the given
+// payload.
+func unitSize(payload int) int64 {
+	return int64(unit("cX", "1.0", payload).Size())
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	pinned := unit("pinned", "1.0", 100)
+	other := unit("other", "1.0", 100)
+	r := New(int64(pinned.Size() + other.Size()))
+	if err := r.Put(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pin("pinned", "1.0", true) {
+		t.Fatal("Pin failed")
+	}
+	if err := r.Put(other); err != nil {
+		t.Fatal(err)
+	}
+	// Now full. A new unit must evict "other", never "pinned".
+	if err := r.Put(unit("new", "1.0", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("pinned") {
+		t.Error("pinned unit was evicted")
+	}
+	if r.Has("other") {
+		t.Error("unpinned unit should have been evicted")
+	}
+}
+
+func TestAllPinnedRejects(t *testing.T) {
+	r := New(unitSize(100))
+	if err := r.Put(unit("a", "1.0", 100)); err != nil {
+		t.Fatal(err)
+	}
+	r.Pin("a", "1.0", true)
+	err := r.Put(unit("b", "1.0", 100))
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Put = %v, want ErrQuotaExceeded", err)
+	}
+	if s := r.Stats(); s.Rejects != 1 {
+		t.Errorf("Rejects = %d", s.Rejects)
+	}
+}
+
+func TestUnitLargerThanQuota(t *testing.T) {
+	r := New(10)
+	if err := r.Put(unit("big", "1.0", 100)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Put = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(0)
+	if err := r.Put(unit("c", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	used := r.Used()
+	if used == 0 {
+		t.Fatal("Used = 0 after Put")
+	}
+	if !r.Remove("c", "1.0") {
+		t.Fatal("Remove reported absent")
+	}
+	if r.Remove("c", "1.0") {
+		t.Error("second Remove reported present")
+	}
+	if r.Used() != 0 {
+		t.Errorf("Used = %d after Remove", r.Used())
+	}
+}
+
+func TestPinAbsent(t *testing.T) {
+	r := New(0)
+	if r.Pin("ghost", "1.0", true) {
+		t.Error("Pin on absent unit reported success")
+	}
+}
+
+func TestList(t *testing.T) {
+	r := New(0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := r.Put(unit(name, "1.0", 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mans := r.List()
+	if len(mans) != 3 {
+		t.Fatalf("List len = %d", len(mans))
+	}
+	if mans[0].Name != "alpha" || mans[1].Name != "mid" || mans[2].Name != "zeta" {
+		t.Errorf("List order = %v", []string{mans[0].Name, mans[1].Name, mans[2].Name})
+	}
+}
+
+func TestResolveDependencyClosure(t *testing.T) {
+	r := New(0)
+	base := unit("base", "1.0", 10)
+	mid := unit("mid", "1.0", 10)
+	mid.Manifest.Deps = []lmu.Dep{{Name: "base", MinVersion: "1.0"}}
+	app := unit("app", "1.0", 10)
+	app.Manifest.Deps = []lmu.Dep{{Name: "mid", MinVersion: "1.0"}, {Name: "base", MinVersion: "1.0"}}
+	for _, u := range []*lmu.Unit{base, mid, app} {
+		if err := r.Put(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order, err := r.Resolve("app")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	var names []string
+	for _, u := range order {
+		names = append(names, u.Manifest.Name)
+	}
+	if len(names) != 3 || names[0] != "base" || names[1] != "mid" || names[2] != "app" {
+		t.Errorf("Resolve order = %v, want [base mid app]", names)
+	}
+}
+
+func TestResolveMissingDep(t *testing.T) {
+	r := New(0)
+	app := unit("app", "1.0", 10)
+	app.Manifest.Deps = []lmu.Dep{{Name: "ghost", MinVersion: "2.0"}}
+	if err := r.Put(app); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Resolve("app")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resolve = %v, want ErrNotFound", err)
+	}
+}
+
+func TestResolveMinVersionEnforced(t *testing.T) {
+	r := New(0)
+	if err := r.Put(unit("lib", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	app := unit("app", "1.0", 10)
+	app.Manifest.Deps = []lmu.Dep{{Name: "lib", MinVersion: "2.0"}}
+	if err := r.Put(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("app"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resolve = %v, want ErrNotFound for too-old dep", err)
+	}
+	if err := r.Put(unit("lib", "2.1", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("app"); err != nil {
+		t.Fatalf("Resolve after upgrade: %v", err)
+	}
+}
+
+func TestResolveCycleTerminates(t *testing.T) {
+	r := New(0)
+	a := unit("a", "1.0", 10)
+	a.Manifest.Deps = []lmu.Dep{{Name: "b"}}
+	b := unit("b", "1.0", 10)
+	b.Manifest.Deps = []lmu.Dep{{Name: "a"}}
+	for _, u := range []*lmu.Unit{a, b} {
+		if err := r.Put(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order, err := r.Resolve("a")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(order) != 2 {
+		t.Errorf("Resolve returned %d units, want 2", len(order))
+	}
+}
+
+func TestMultipleVersionsCoexist(t *testing.T) {
+	r := New(0)
+	if err := r.Put(unit("c", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(unit("c", "2.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.List()); got != 2 {
+		t.Errorf("List len = %d, want 2 coexisting versions", got)
+	}
+	got, ok := r.GetAtLeast("c", "1.0")
+	if !ok || got.Manifest.Version != "2.0" {
+		t.Errorf("GetAtLeast returned %v", got.Manifest.Version)
+	}
+}
+
+func TestEvictionDeterministic(t *testing.T) {
+	// Two registries fed identically must evict identically.
+	run := func() []string {
+		var now time.Duration
+		r := New(4*unitSize(50), WithClock(func() time.Duration { now += time.Millisecond; return now }))
+		for i := 0; i < 12; i++ {
+			name := fmt.Sprintf("c%d", i%6)
+			_ = r.Put(unit(name, fmt.Sprintf("1.%d", i), 50))
+			r.Get(fmt.Sprintf("c%d", (i*5)%6))
+		}
+		var names []string
+		for _, m := range r.List() {
+			names = append(names, m.Name+"@"+m.Version)
+		}
+		return names
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different survivor counts: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic eviction: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestExpireIdle(t *testing.T) {
+	var now time.Duration
+	r := New(0, WithClock(func() time.Duration { return now }))
+	if err := r.Put(unit("hot", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(unit("cold", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(unit("pinned", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	r.Pin("pinned", "1.0", true)
+
+	now = 100 * time.Second
+	r.Get("hot") // refresh hot's recency
+
+	now = 150 * time.Second
+	// cold was last used at t=0; hot at t=100; expire things idle > 60s.
+	removed := r.ExpireIdle(60 * time.Second)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if r.Has("cold") {
+		t.Error("cold survived expiry")
+	}
+	if !r.Has("hot") || !r.Has("pinned") {
+		t.Error("hot or pinned expired incorrectly")
+	}
+	if s := r.Stats(); s.Evictions != 1 || s.BytesEvicted == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestExpireIdleNothingIdle(t *testing.T) {
+	var now time.Duration
+	r := New(0, WithClock(func() time.Duration { return now }))
+	if err := r.Put(unit("a", "1.0", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if removed := r.ExpireIdle(time.Hour); removed != 0 {
+		t.Errorf("removed = %d", removed)
+	}
+}

@@ -1,0 +1,173 @@
+// Package security implements code signing for Logical Mobility Units.
+//
+// The paper: "Security mechanisms such as digital signatures can be used to
+// ensure the safety and authenticity of the downloaded code." Units are
+// signed with ed25519 over their canonical content hash; hosts verify
+// against a local trust store under a configurable policy before installing
+// or executing foreign code.
+package security
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"logmob/internal/lmu"
+)
+
+// Verification errors, matched with errors.Is.
+var (
+	// ErrUnsigned reports a unit with no signature under a policy that
+	// requires one.
+	ErrUnsigned = errors.New("security: unit is not signed")
+	// ErrUnknownSigner reports a signer absent from the trust store.
+	ErrUnknownSigner = errors.New("security: signer not in trust store")
+	// ErrBadSignature reports a signature that does not verify.
+	ErrBadSignature = errors.New("security: signature verification failed")
+	// ErrUntrusted reports a signer present but not trusted for the unit's
+	// publisher name.
+	ErrUntrusted = errors.New("security: signer does not match publisher")
+)
+
+// Identity is a named ed25519 keypair.
+type Identity struct {
+	Name string
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewIdentity generates a fresh keypair named name.
+func NewIdentity(name string) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("security: generate key for %q: %w", name, err)
+	}
+	return &Identity{Name: name, pub: pub, priv: priv}, nil
+}
+
+// MustNewIdentity is NewIdentity panicking on error, for test and example
+// setup. Key generation fails only if the system entropy source does.
+func MustNewIdentity(name string) *Identity {
+	id, err := NewIdentity(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Public returns the identity's public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Sign attaches a full-coverage signature envelope to the unit. Any previous
+// signature is replaced. Mutating the unit after signing invalidates the
+// signature.
+func (id *Identity) Sign(u *lmu.Unit) {
+	id.SignMode(u, lmu.SigFull)
+}
+
+// SignCode attaches a code-only signature: it stays valid while the unit's
+// data and execution state mutate, which is what a mobile agent needs — the
+// publisher vouches for the code, and each hosting environment decides
+// whether to accept the travelling state.
+func (id *Identity) SignCode(u *lmu.Unit) {
+	id.SignMode(u, lmu.SigCode)
+}
+
+// SignMode signs with an explicit coverage mode.
+func (id *Identity) SignMode(u *lmu.Unit, mode lmu.SigMode) {
+	h := u.HashFor(mode)
+	u.Sig = &lmu.Signature{Signer: id.Name, Mode: mode, Sig: ed25519.Sign(id.priv, h[:])}
+}
+
+// TrustStore maps signer names to public keys. Safe for concurrent use.
+type TrustStore struct {
+	mu   sync.RWMutex
+	keys map[string]ed25519.PublicKey
+}
+
+// NewTrustStore returns an empty store.
+func NewTrustStore() *TrustStore {
+	return &TrustStore{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// Trust records the key under name, replacing any previous key.
+func (t *TrustStore) Trust(name string, key ed25519.PublicKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keys[name] = append(ed25519.PublicKey(nil), key...)
+}
+
+// TrustIdentity records the identity's public key under its name.
+func (t *TrustStore) TrustIdentity(id *Identity) {
+	t.Trust(id.Name, id.Public())
+}
+
+// Revoke removes name from the store.
+func (t *TrustStore) Revoke(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.keys, name)
+}
+
+// Key returns the key trusted under name.
+func (t *TrustStore) Key(name string) (ed25519.PublicKey, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	k, ok := t.keys[name]
+	return k, ok
+}
+
+// Len returns the number of trusted keys.
+func (t *TrustStore) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.keys)
+}
+
+// Policy configures what a host accepts.
+type Policy struct {
+	// AllowUnsigned accepts units with no signature. Default false: code
+	// from the network must be signed.
+	AllowUnsigned bool
+	// RequirePublisherMatch additionally requires the signer name to equal
+	// the manifest's Publisher field, preventing a trusted-but-different
+	// signer from impersonating another publisher.
+	RequirePublisherMatch bool
+	// RequireFullCoverage rejects code-only (SigCode) signatures. Right for
+	// component installation; wrong for accepting mobile agents.
+	RequireFullCoverage bool
+}
+
+// Verify checks the unit's signature against the trust store under the
+// policy. It returns nil if the unit is acceptable.
+func Verify(u *lmu.Unit, trust *TrustStore, policy Policy) error {
+	if u.Sig == nil {
+		if policy.AllowUnsigned {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrUnsigned, u.Manifest.Name)
+	}
+	key, ok := trust.Key(u.Sig.Signer)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSigner, u.Sig.Signer)
+	}
+	if policy.RequirePublisherMatch && u.Sig.Signer != u.Manifest.Publisher {
+		return fmt.Errorf("%w: signed by %q, published by %q",
+			ErrUntrusted, u.Sig.Signer, u.Manifest.Publisher)
+	}
+	mode := u.Sig.Mode
+	if mode == 0 {
+		mode = lmu.SigFull
+	}
+	if policy.RequireFullCoverage && mode != lmu.SigFull {
+		return fmt.Errorf("%w: code-only signature on %s where full coverage is required",
+			ErrUntrusted, u.Manifest.Name)
+	}
+	h := u.HashFor(mode)
+	if !ed25519.Verify(key, h[:], u.Sig.Sig) {
+		return fmt.Errorf("%w: %s signed by %q", ErrBadSignature, u.Manifest.Name, u.Sig.Signer)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"logmob/internal/lmu"
+)
+
+func signedUnit(t *testing.T, id *Identity) *lmu.Unit {
+	t.Helper()
+	u := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "codec/mp3", Version: "1.0", Kind: lmu.KindComponent, Publisher: id.Name},
+		Code:     []byte{1, 2, 3},
+	}
+	id.Sign(u)
+	return u
+}
+
+func TestSignVerify(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	if err := Verify(u, trust, Policy{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifySurvivesPackUnpack(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	got, err := lmu.Unpack(u.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if err := Verify(got, trust, Policy{}); err != nil {
+		t.Fatalf("Verify after transport: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedCode(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	u.Code[0] ^= 0xFF
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Verify = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsTamperedManifest(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	u.Manifest.Version = "9.9"
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Verify = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyUnsigned(t *testing.T) {
+	trust := NewTrustStore()
+	u := &lmu.Unit{Manifest: lmu.Manifest{Name: "x", Kind: lmu.KindData}}
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("Verify = %v, want ErrUnsigned", err)
+	}
+	if err := Verify(u, trust, Policy{AllowUnsigned: true}); err != nil {
+		t.Fatalf("Verify with AllowUnsigned: %v", err)
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	id := MustNewIdentity("acme")
+	u := signedUnit(t, id)
+	trust := NewTrustStore() // empty
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("Verify = %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestVerifyWrongKeySameName(t *testing.T) {
+	id := MustNewIdentity("acme")
+	impostor := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(impostor) // trust the impostor's key
+	u := signedUnit(t, id)        // signed with the real key
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Verify = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestPublisherMatchPolicy(t *testing.T) {
+	signer := MustNewIdentity("third-party")
+	trust := NewTrustStore()
+	trust.TrustIdentity(signer)
+	u := &lmu.Unit{Manifest: lmu.Manifest{Name: "x", Kind: lmu.KindComponent, Publisher: "acme"}}
+	signer.Sign(u)
+	// Without the policy the trusted third-party signature is fine.
+	if err := Verify(u, trust, Policy{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// With it, the signer must be the publisher.
+	if err := Verify(u, trust, Policy{RequirePublisherMatch: true}); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("Verify = %v, want ErrUntrusted", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	if err := Verify(u, trust, Policy{}); err != nil {
+		t.Fatalf("Verify before revoke: %v", err)
+	}
+	trust.Revoke("acme")
+	if err := Verify(u, trust, Policy{}); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("Verify after revoke = %v, want ErrUnknownSigner", err)
+	}
+	if trust.Len() != 0 {
+		t.Errorf("Len = %d", trust.Len())
+	}
+}
+
+func TestResignAfterMutation(t *testing.T) {
+	id := MustNewIdentity("acme")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := signedUnit(t, id)
+	u.Data = map[string][]byte{"k": {1}}
+	if err := Verify(u, trust, Policy{}); err == nil {
+		t.Fatal("stale signature accepted")
+	}
+	id.Sign(u)
+	if err := Verify(u, trust, Policy{}); err != nil {
+		t.Fatalf("Verify after re-sign: %v", err)
+	}
+}
+
+func TestTrustStoreCopiesKey(t *testing.T) {
+	id := MustNewIdentity("acme")
+	key := append([]byte(nil), id.Public()...)
+	trust := NewTrustStore()
+	trust.Trust("acme", key)
+	key[0] ^= 0xFF // mutate caller's slice
+	stored, ok := trust.Key("acme")
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if stored[0] == key[0] {
+		t.Error("TrustStore aliases caller's key slice")
+	}
+}
+
+func TestCodeSignatureSurvivesStateMutation(t *testing.T) {
+	id := MustNewIdentity("publisher")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	agent := &lmu.Unit{
+		Manifest: lmu.Manifest{Name: "agent/courier", Version: "1.0", Kind: lmu.KindAgent, Publisher: id.Name},
+		Code:     []byte{9, 9, 9},
+		Data:     map[string][]byte{"dest": []byte("host-b")},
+	}
+	id.SignCode(agent)
+	// Simulate migration: data and state mutate at each hop.
+	agent.State = []byte{1, 2, 3}
+	agent.Data["hops"] = []byte{5}
+	if err := Verify(agent, trust, Policy{}); err != nil {
+		t.Fatalf("Verify after state mutation: %v", err)
+	}
+	// Tampering with the code still breaks it.
+	agent.Code[0] ^= 0xFF
+	if err := Verify(agent, trust, Policy{}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Verify = %v, want ErrBadSignature for code tamper", err)
+	}
+}
+
+func TestRequireFullCoverageRejectsCodeSig(t *testing.T) {
+	id := MustNewIdentity("publisher")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := &lmu.Unit{Manifest: lmu.Manifest{Name: "c", Kind: lmu.KindComponent}, Code: []byte{1}}
+	id.SignCode(u)
+	if err := Verify(u, trust, Policy{RequireFullCoverage: true}); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("Verify = %v, want ErrUntrusted", err)
+	}
+	id.Sign(u)
+	if err := Verify(u, trust, Policy{RequireFullCoverage: true}); err != nil {
+		t.Fatalf("Verify full sig: %v", err)
+	}
+}
+
+func TestSigModeSurvivesTransport(t *testing.T) {
+	id := MustNewIdentity("publisher")
+	trust := NewTrustStore()
+	trust.TrustIdentity(id)
+	u := &lmu.Unit{Manifest: lmu.Manifest{Name: "a", Kind: lmu.KindAgent}, Code: []byte{7}}
+	id.SignCode(u)
+	got, err := lmu.Unpack(u.Pack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.State = []byte{9} // mutate state in transit-equivalent way
+	if err := Verify(got, trust, Policy{}); err != nil {
+		t.Fatalf("Verify unpacked code-signed unit: %v", err)
+	}
+	if got.Sig.Mode != lmu.SigCode {
+		t.Errorf("Mode = %d, want SigCode", got.Sig.Mode)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sim is logmob's experiment harness: it regenerates every table
+// and figure in EXPERIMENTS.md from the simulator, the kernel and the
+// scenario library.
+//
+// The source paper is a two-page position paper with no quantitative
+// evaluation, so each experiment here is derived from (and annotated with)
+// the paper passage whose argument it checks. Experiments are deterministic
+// given their seed.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"logmob/internal/core"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+	"logmob/internal/security"
+	"logmob/internal/transport"
+)
+
+// Result is the output of one experiment run.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Charts []*metrics.Chart
+	Notes  []string
+}
+
+// Render writes the complete result.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, c := range r.Charts {
+		c.Render(w, 64, 16)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one named, reproducible experiment.
+type Experiment struct {
+	ID         string
+	Title      string
+	Motivation string // the paper passage this experiment checks
+	Run        func(seed int64) *Result
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), A1(), A2(), A3(),
+	}
+}
+
+// ByID looks an experiment up by its ID (case-sensitive, e.g. "T3").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// world bundles the simulated environment experiments build on.
+type world struct {
+	sim   *netsim.Sim
+	net   *netsim.Network
+	sn    *transport.SimNetwork
+	id    *security.Identity
+	trust *security.TrustStore
+	hosts map[string]*core.Host
+}
+
+func newWorld(seed int64) *world {
+	s := netsim.NewSim(seed)
+	n := netsim.NewNetwork(s)
+	id := security.MustNewIdentity("publisher")
+	trust := security.NewTrustStore()
+	trust.TrustIdentity(id)
+	return &world{
+		sim:   s,
+		net:   n,
+		sn:    transport.NewSimNetwork(n),
+		id:    id,
+		trust: trust,
+		hosts: make(map[string]*core.Host),
+	}
+}
+
+// addHost creates a kernel host on a new node. Loss is disabled unless the
+// experiment re-enables it; experiments about loss set it explicitly.
+func (w *world) addHost(name string, pos netsim.Position, class netsim.LinkClass, mutate func(*core.Config)) *core.Host {
+	class.Loss = 0
+	w.net.AddNode(name, pos, class)
+	ep, err := w.sn.Endpoint(name)
+	if err != nil {
+		panic(err) // nodes are added by the experiment itself; a clash is a bug
+	}
+	cfg := core.Config{
+		Name: name, Endpoint: ep, Scheduler: w.sim,
+		Trust: w.trust, ServeEval: true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	h, err := core.NewHost(cfg)
+	if err != nil {
+		panic(err)
+	}
+	w.hosts[name] = h
+	return h
+}
+
+// deviceUsage is shorthand for the device-side traffic account.
+func (w *world) deviceUsage(name string) netsim.Usage {
+	return w.net.UsageOf(name)
+}

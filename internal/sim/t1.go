@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/app"
+	"logmob/internal/lmu"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+	"logmob/internal/policy"
+	"logmob/internal/security"
+	"logmob/internal/vm"
+)
+
+// t1AgentSource is a minimal out-and-back agent: visit the one host on the
+// itinerary, then return home (KeyDest) and halt.
+const t1AgentSource = `
+.entry main
+main:
+	push 0
+	host a_itin_select
+	jz done
+	host a_migrate
+	pop
+	host a_select_dest
+	jz done
+	host a_migrate
+	pop
+done:
+	halt
+`
+
+// T1 measures the four-paradigm traffic model: analytic predictions next to
+// traffic actually metered on the simulated device link, across interaction
+// counts N. The shape to reproduce: CS wins for small N; the mobile-code
+// paradigms win beyond a crossover because code moves once while
+// interactions keep crossing the link.
+func T1() Experiment {
+	return Experiment{
+		ID:    "T1",
+		Title: "Paradigm traffic crossover (CS / REV / COD / MA)",
+		Motivation: `"We consider the following forms of mobile interactions, ` +
+			`according to [1] ..." — the four paradigms whose traffic tradeoff ` +
+			`is the paper's core argument for logical mobility.`,
+		Run: runT1,
+	}
+}
+
+const (
+	t1Req    = 200
+	t1Reply  = 1000
+	t1State  = 600
+	t1Result = 100
+)
+
+func runT1(seed int64) *Result {
+	res := &Result{ID: "T1", Title: "Paradigm traffic crossover"}
+
+	// The component shipped by COD/REV; its real packed size feeds the model
+	// so model and measurement describe the same artifact.
+	id := security.MustNewIdentity("publisher")
+	codeUnit := app.BuildCodec(id, "t1", "1.0", 3000)
+	task := policy.Task{
+		ReqBytes:    t1Req,
+		ReplyBytes:  t1Reply,
+		CodeBytes:   int64(codeUnit.Size()),
+		StateBytes:  t1State,
+		ResultBytes: t1Result,
+	}
+
+	table := metrics.NewTable("Table T1: device-link bytes, model vs measured",
+		"N", "paradigm", "model B", "measured B", "measured/model")
+	chart := metrics.NewChart("Figure T1: model traffic vs interactions N", "N", "bytes")
+
+	sweep := []int64{1, 2, 5, 10, 20, 50}
+	for _, n := range sweep {
+		task.Interactions = n
+		measured := measureT1(seed, n)
+		for _, p := range policy.Paradigms() {
+			model := policy.Traffic(p, task)
+			m := measured[p]
+			ratio := float64(m) / float64(model)
+			table.AddRow(n, p.String(), model, m, fmt.Sprintf("%.2f", ratio))
+		}
+	}
+	for n := int64(1); n <= 50; n++ {
+		task.Interactions = n
+		for _, p := range policy.Paradigms() {
+			chart.Add(p.String(), float64(n), float64(policy.Traffic(p, task)))
+		}
+	}
+
+	// Locate the model crossover where COD beats CS.
+	crossover := int64(0)
+	for n := int64(1); n <= 200; n++ {
+		task.Interactions = n
+		if policy.Traffic(policy.CS, task) > policy.Traffic(policy.COD, task) {
+			crossover = n
+			break
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Charts = append(res.Charts, chart)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("model crossover: COD beats CS from N=%d interactions", crossover),
+		"measured/model > 1 reflects kernel framing overhead; the shape (who wins at each N) must match")
+	return res
+}
+
+// measureT1 runs each paradigm for n interactions on a fresh simulated
+// GPRS device against a LAN server, returning device-link bytes moved.
+func measureT1(seed, n int64) map[policy.Paradigm]int64 {
+	out := make(map[policy.Paradigm]int64, 4)
+
+	deviceBytes := func(w *world) int64 {
+		u := w.deviceUsage("device")
+		return u.BytesSent + u.BytesRecv
+	}
+
+	// --- CS: n request/reply rounds.
+	{
+		w := newWorld(seed)
+		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
+		reply := make([]byte, t1Reply)
+		server.RegisterService("work", func(string, [][]byte) ([][]byte, error) {
+			return [][]byte{reply}, nil
+		})
+		req := make([]byte, t1Req)
+		remaining := n
+		var call func()
+		call = func() {
+			device.Call("server", "work", [][]byte{req}, func([][]byte, error) {
+				remaining--
+				if remaining > 0 {
+					call()
+				}
+			})
+		}
+		call()
+		w.sim.RunFor(time.Duration(n) * 30 * time.Second)
+		out[policy.CS] = deviceBytes(w)
+	}
+
+	// --- REV: ship the code once, get the result.
+	{
+		w := newWorld(seed)
+		w.addHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
+		job := app.BuildCodec(w.id, "t1", "1.0", 3000)
+		job.Manifest.Kind = lmu.KindRequest
+		w.id.Sign(job)
+		device.Eval("server", job, "decode", []int64{n * 8}, func([]int64, error) {})
+		w.sim.RunFor(10 * time.Minute)
+		out[policy.REV] = deviceBytes(w)
+	}
+
+	// --- COD: fetch the component once, run the n interactions locally.
+	{
+		w := newWorld(seed)
+		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
+		unit := app.BuildCodec(w.id, "t1", "1.0", 3000)
+		if err := server.Publish(unit); err != nil {
+			panic(err)
+		}
+		device.Fetch("server", unit.Manifest.Name, "", func(u *lmu.Unit, err error) {
+			if err == nil {
+				for i := int64(0); i < n; i++ {
+					_, _ = device.RunComponent(unit.Manifest.Name, "decode", 8)
+				}
+			}
+		})
+		w.sim.RunFor(10 * time.Minute)
+		out[policy.COD] = deviceBytes(w)
+	}
+
+	// --- MA: one agent out and back carrying state.
+	{
+		w := newWorld(seed)
+		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
+		agent.NewPlatform(server, agent.Env{Seed: seed})
+		devPlat := agent.NewPlatform(device, agent.Env{Seed: seed})
+		prog := vm.MustAssemble(t1AgentSource)
+		data := map[string][]byte{
+			agent.KeyDest:      []byte("device"),
+			agent.KeyItinerary: agent.EncodeItinerary([]string{"server"}),
+			"state":            make([]byte, t1State),
+			// Pad the agent to carry application logic comparable to the
+			// component the other paradigms ship, as the model assumes.
+			"applogic": make([]byte, 3000),
+		}
+		if _, err := devPlat.Spawn("roundtrip", prog, data, "main"); err != nil {
+			panic(err)
+		}
+		w.sim.RunFor(10 * time.Minute)
+		out[policy.MA] = deviceBytes(w)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/app"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+	"logmob/internal/vm"
+)
+
+// T10 collects the middleware micro-costs: VM dispatch rate, agent state
+// snapshot/restore, and kernel RPC round trips per link class. These are the
+// fixed costs every paradigm decision trades against.
+func T10() Experiment {
+	return Experiment{
+		ID:    "T10",
+		Title: "Middleware micro-costs",
+		Motivation: `"Different mobile code paradigms could be plugged-in ` +
+			`dynamically and used when needed" — only sensible if the machinery ` +
+			`itself is cheap; this table quantifies it.`,
+		Run: runT10,
+	}
+}
+
+func runT10(seed int64) *Result {
+	res := &Result{ID: "T10", Title: "Middleware micro-costs"}
+	table := metrics.NewTable("Table T10: middleware micro-costs",
+		"operation", "value", "unit")
+
+	// --- VM dispatch rate (wall clock).
+	{
+		m, err := vm.New(app.PrimeCountProgram, nil, 1<<30)
+		if err != nil {
+			panic(err)
+		}
+		if err := m.SetEntry("main", 5000); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		rate := float64(m.Steps) / elapsed.Seconds() / 1e6
+		table.AddRow("vm dispatch", fmt.Sprintf("%.1f", rate), "M steps/s")
+		table.AddRow("primes(5000) steps", m.Steps, "instructions")
+	}
+
+	// --- Snapshot/restore of a mid-flight courier.
+	{
+		prog := agent.CourierProgram
+		host := vm.NewHostTable()
+		// Minimal capabilities so the courier runs to its first sleep; the
+		// whole import set must link even if some calls never execute.
+		for _, name := range []string{"a_at_dest", "a_select_toward_dest", "a_migrate", "a_deliver"} {
+			host.Register(vm.HostFunc{Name: name, Arity: 0,
+				Fn: func(*vm.Machine, []int64) ([]int64, int64, error) { return []int64{0}, 0, nil }})
+		}
+		host.Register(vm.HostFunc{Name: "a_sleep", Arity: 1,
+			Fn: func(*vm.Machine, []int64) ([]int64, int64, error) { return nil, 2, nil }})
+		m, err := vm.New(prog, host, 1000)
+		if err != nil {
+			panic(err)
+		}
+		if err := m.SetEntry("main"); err != nil {
+			panic(err)
+		}
+		if err := m.Run(); err != nil {
+			panic(err)
+		}
+		const iters = 1000
+		var snap []byte
+		snapT := stopwatch(iters, func() { snap = m.Snapshot() })
+		restoreT := stopwatch(iters, func() {
+			if _, err := vm.Restore(prog, host, 1000, snap); err != nil {
+				panic(err)
+			}
+		})
+		table.AddRow("agent snapshot", fmt.Sprintf("%.2f", float64(snapT.Nanoseconds())/iters/1000), "us")
+		table.AddRow("agent restore", fmt.Sprintf("%.2f", float64(restoreT.Nanoseconds())/iters/1000), "us")
+		table.AddRow("snapshot size", len(snap), "bytes")
+	}
+
+	// --- Kernel RPC round trip (virtual time) per link class.
+	for _, link := range []struct {
+		name  string
+		class netsim.LinkClass
+	}{
+		{"lan", netsim.LAN}, {"wlan", netsim.WLAN}, {"adhoc", netsim.AdHoc}, {"gprs", netsim.GPRS},
+	} {
+		w := newWorld(seed)
+		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.addHost("device", netsim.Position{X: 5}, link.class, nil)
+		server.RegisterService("ping", func(string, [][]byte) ([][]byte, error) {
+			return [][]byte{{1}}, nil
+		})
+		start := w.sim.Now()
+		var rtt time.Duration
+		device.Call("server", "ping", [][]byte{{0}}, func([][]byte, error) {
+			rtt = w.sim.Now() - start
+		})
+		w.sim.RunFor(time.Minute)
+		table.AddRow("rpc round trip ("+link.name+")",
+			fmt.Sprintf("%.1f", float64(rtt.Microseconds())/1000), "ms (virtual)")
+	}
+
+	res.Tables = append(res.Tables, table)
+	return res
+}

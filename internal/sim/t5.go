@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/app"
+	"logmob/internal/lmu"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+)
+
+// T5 compares a shopping agent with interactive catalogue browsing on a
+// GPRS device, sweeping the number of vendors. The device pays per byte, so
+// the agent — which leaves once, shops on the wired side, and returns once —
+// caps the device's airtime and bill while browsing grows linearly with
+// vendors.
+func T5() Experiment {
+	return Experiment{
+		ID:    "T5",
+		Title: "Shopping: agent vs interactive browsing on a costed link",
+		Motivation: `"Considering that wireless connections are expensive, the ` +
+			`cost of shopping from a mobile device can be quite high. Mobile ` +
+			`agents could be a solution to this problem, encapsulating the ` +
+			`description of the product the user wishes to buy, finding the ` +
+			`best price, and performing the actual transaction for the user."`,
+		Run: runT5,
+	}
+}
+
+const (
+	t5PageSize       = 2048
+	t5PagesPerVendor = 3
+)
+
+func runT5(seed int64) *Result {
+	res := &Result{ID: "T5", Title: "Shopping agent vs browsing"}
+	table := metrics.NewTable(fmt.Sprintf(
+		"Table T5: GPRS device, %d catalogue pages x %dB per vendor browsed",
+		t5PagesPerVendor, t5PageSize),
+		"vendors", "strategy", "device B", "cost $", "airtime s", "best cents")
+	chart := metrics.NewChart("Figure T5: device monetary cost vs vendors", "vendors", "$")
+
+	for _, vendors := range []int{2, 4, 8, 16} {
+		// Same price vector for both strategies.
+		prices := make([]float64, vendors)
+		cheapest := 0
+		for i := range prices {
+			prices[i] = 5 + float64((i*7)%13)
+			if prices[i] < prices[cheapest] {
+				cheapest = i
+			}
+		}
+
+		// --- MA: shopping agent.
+		{
+			w := newWorld(seed)
+			home := w.addHost("home", netsim.Position{}, netsim.GPRS, nil)
+			names := make([]string, vendors)
+			for i := 0; i < vendors; i++ {
+				names[i] = fmt.Sprintf("shop-%02d", i)
+				vh := w.addHost(names[i], netsim.Position{}, netsim.LAN, nil)
+				app.SetupVendor(vh, map[string]float64{"widget": prices[i]}, t5PageSize)
+				agent.NewPlatform(vh, agent.Env{Seed: seed + int64(i), ExtraCaps: app.VendorCaps})
+			}
+			var final agent.Record
+			hp := agent.NewPlatform(home, agent.Env{
+				Seed: seed, ExtraCaps: app.VendorCaps,
+				OnDone: func(r agent.Record) { final = r },
+			})
+			unit := &lmu.Unit{
+				Manifest: lmu.Manifest{Name: "shopper", Version: "1.0", Kind: lmu.KindAgent, Publisher: w.id.Name},
+				Code:     app.ShopperProgram.Encode(),
+				Data:     app.NewShopperData("home", "widget", names),
+			}
+			w.id.SignCode(unit)
+			if _, err := hp.SpawnUnit(unit, "main"); err != nil {
+				panic(err)
+			}
+			w.sim.RunFor(30 * time.Minute)
+			u := w.deviceUsage("home")
+			best := int64(-1)
+			if n := len(final.Stack); n >= 2 {
+				best = final.Stack[n-1]
+			}
+			table.AddRow(vendors, "MA agent", u.BytesSent+u.BytesRecv,
+				fmt.Sprintf("%.4f", u.Cost), fmt.Sprintf("%.1f", u.Airtime.Seconds()), best)
+			chart.Add("MA", float64(vendors), u.Cost)
+		}
+
+		// --- CS: interactive browsing.
+		{
+			w := newWorld(seed)
+			device := w.addHost("home", netsim.Position{}, netsim.GPRS, nil)
+			names := make([]string, vendors)
+			for i := 0; i < vendors; i++ {
+				names[i] = fmt.Sprintf("shop-%02d", i)
+				vh := w.addHost(names[i], netsim.Position{}, netsim.LAN, nil)
+				app.SetupVendor(vh, map[string]float64{"widget": prices[i]}, t5PageSize)
+			}
+			var result app.BrowseResult
+			app.BrowseCS(device, names, "widget", t5PagesPerVendor, func(r app.BrowseResult) {
+				result = r
+			})
+			w.sim.RunFor(2 * time.Hour)
+			u := w.deviceUsage("home")
+			table.AddRow(vendors, "CS browse", u.BytesSent+u.BytesRecv,
+				fmt.Sprintf("%.4f", u.Cost), fmt.Sprintf("%.1f", u.Airtime.Seconds()), result.BestCents)
+			chart.Add("CS", float64(vendors), u.Cost)
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Charts = append(res.Charts, chart)
+	res.Notes = append(res.Notes,
+		"expected shape: CS cost grows linearly with vendors; MA cost is flat (one round trip) once past the agent-code overhead",
+		"both strategies must agree on the best price")
+	return res
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"logmob/internal/app"
+	"logmob/internal/core"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+)
+
+// T6 measures computation offloading by Remote Evaluation: the prime-count
+// workload run locally on a weak device versus shipped to a server whose
+// relative CPU speed is swept. Offload pays transfer and round-trip time to
+// buy faster compute; the crossover is where that trade turns profitable.
+func T6() Experiment {
+	return Experiment{
+		ID:    "T6",
+		Title: "REV offload speedup vs server speed and link",
+		Motivation: `"As mobile devices usually have limited resources, REV ` +
+			`techniques can be used to distribute computations to more powerful ` +
+			`hosts ... allowing for faster application execution, and a better ` +
+			`perceived end-user experience."`,
+		Run: runT6,
+	}
+}
+
+const (
+	// t6DeviceRate is the weak device's speed in VM steps per second.
+	t6DeviceRate = 200_000
+	t6PrimeN     = 1500
+)
+
+func runT6(seed int64) *Result {
+	res := &Result{ID: "T6", Title: "REV offload speedup"}
+
+	// Local execution: measure the workload's real instruction count once.
+	var localSteps int64
+	{
+		w := newWorld(seed)
+		dev := w.addHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
+			c.EvalFuel = 1 << 30
+		})
+		job := app.BuildPrimeJob(w.id)
+		if err := dev.Registry().Put(job); err != nil {
+			panic(err)
+		}
+		_, steps, err := dev.RunComponentSteps("job/primes", "main", t6PrimeN)
+		if err != nil {
+			panic(err)
+		}
+		localSteps = steps
+	}
+	localTime := time.Duration(float64(localSteps) / t6DeviceRate * float64(time.Second))
+
+	table := metrics.NewTable(fmt.Sprintf(
+		"Table T6: primes(%d), %d VM steps, local on device = %.1fs",
+		t6PrimeN, localSteps, localTime.Seconds()),
+		"link", "server speedup x", "offload s", "speedup")
+	chart := metrics.NewChart("Figure T6: offload speedup vs server CPU factor", "server factor", "speedup")
+
+	links := []struct {
+		name  string
+		class netsim.LinkClass
+	}{
+		{"wlan", netsim.WLAN},
+		{"gprs", netsim.GPRS},
+	}
+	for _, link := range links {
+		for _, factor := range []float64{0.5, 1, 2, 5, 10, 20} {
+			w := newWorld(seed)
+			w.addHost("server", netsim.Position{}, netsim.LAN, func(c *core.Config) {
+				c.ComputeRate = t6DeviceRate * factor
+				c.EvalFuel = 1 << 30
+			})
+			dev := w.addHost("device", netsim.Position{}, link.class, nil)
+			job := app.BuildPrimeJob(w.id)
+			start := w.sim.Now()
+			var took time.Duration
+			dev.Eval("server", job, "main", []int64{t6PrimeN}, func(stack []int64, err error) {
+				if err != nil {
+					panic(err)
+				}
+				took = w.sim.Now() - start
+			})
+			w.sim.RunFor(2 * time.Hour)
+			speedup := localTime.Seconds() / took.Seconds()
+			table.AddRow(link.name, factor, fmt.Sprintf("%.1f", took.Seconds()),
+				fmt.Sprintf("%.2f", speedup))
+			chart.Add(link.name, factor, speedup)
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Charts = append(res.Charts, chart)
+	res.Notes = append(res.Notes,
+		"expected shape: speedup approaches the server factor on fast links and saturates at transfer time on slow links; offload loses (speedup < 1) when the server is no faster than the device",
+	)
+	return res
+}

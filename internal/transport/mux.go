@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Channel IDs used across logmob. Defined here so every subsystem agrees.
+const (
+	// ChanKernel carries the middleware kernel protocol (RPC, eval, fetch,
+	// agent transfer).
+	ChanKernel byte = 1
+	// ChanLookup carries the centralised lookup-service protocol.
+	ChanLookup byte = 2
+	// ChanBeacon carries decentralised discovery beacons.
+	ChanBeacon byte = 3
+)
+
+// Mux multiplexes several logical channels over one Endpoint by prefixing
+// each payload with a channel ID byte. Each channel behaves as an Endpoint
+// of its own.
+type Mux struct {
+	ep       Endpoint
+	mu       sync.Mutex
+	handlers map[byte]Handler
+}
+
+// NewMux wraps ep and installs its dispatch handler.
+func NewMux(ep Endpoint) *Mux {
+	m := &Mux{ep: ep, handlers: make(map[byte]Handler)}
+	ep.SetHandler(m.dispatch)
+	return m
+}
+
+func (m *Mux) dispatch(from string, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	m.mu.Lock()
+	h := m.handlers[payload[0]]
+	m.mu.Unlock()
+	if h != nil {
+		h(from, payload[1:])
+	}
+}
+
+// Channel returns the Endpoint view of one channel.
+func (m *Mux) Channel(id byte) Endpoint {
+	return &muxChannel{mux: m, id: id}
+}
+
+// Underlying returns the wrapped Endpoint.
+func (m *Mux) Underlying() Endpoint { return m.ep }
+
+type muxChannel struct {
+	mux *Mux
+	id  byte
+}
+
+var _ Endpoint = (*muxChannel)(nil)
+
+func (c *muxChannel) Addr() string { return c.mux.ep.Addr() }
+
+func (c *muxChannel) Send(to string, payload []byte) error {
+	return c.mux.ep.Send(to, c.frame(payload))
+}
+
+func (c *muxChannel) Broadcast(payload []byte) int {
+	return c.mux.ep.Broadcast(c.frame(payload))
+}
+
+func (c *muxChannel) frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, c.id)
+	return append(out, payload...)
+}
+
+func (c *muxChannel) Neighbors() []string { return c.mux.ep.Neighbors() }
+
+func (c *muxChannel) SetHandler(h Handler) {
+	c.mux.mu.Lock()
+	defer c.mux.mu.Unlock()
+	if h == nil {
+		delete(c.mux.handlers, c.id)
+		return
+	}
+	if _, dup := c.mux.handlers[c.id]; dup {
+		panic(fmt.Sprintf("transport: handler for mux channel %d installed twice", c.id))
+	}
+	c.mux.handlers[c.id] = h
+}
+
+// Close detaches the channel's handler; the underlying endpoint stays open.
+func (c *muxChannel) Close() error {
+	c.SetHandler(nil)
+	return nil
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"testing"
+
+	"logmob/internal/netsim"
+)
+
+func TestMuxRoutesByChannel(t *testing.T) {
+	sim, ea, eb := newSimPair(t)
+	ma := NewMux(ea)
+	mb := NewMux(eb)
+
+	var kernelGot, beaconGot string
+	mb.Channel(ChanKernel).SetHandler(func(from string, p []byte) { kernelGot = string(p) })
+	mb.Channel(ChanBeacon).SetHandler(func(from string, p []byte) { beaconGot = string(p) })
+
+	if err := ma.Channel(ChanKernel).Send("b", []byte("k")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := ma.Channel(ChanBeacon).Send("b", []byte("d")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	sim.RunUntilIdle(0)
+	if kernelGot != "k" || beaconGot != "d" {
+		t.Errorf("kernel=%q beacon=%q", kernelGot, beaconGot)
+	}
+}
+
+func TestMuxUnhandledChannelDropped(t *testing.T) {
+	sim, ea, eb := newSimPair(t)
+	ma := NewMux(ea)
+	NewMux(eb) // no handlers installed
+	if err := ma.Channel(ChanKernel).Send("b", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	sim.RunUntilIdle(0) // must not panic
+}
+
+func TestMuxBroadcast(t *testing.T) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	c := netsim.AdHoc
+	c.Loss = 0
+	net.AddNode("a", netsim.Position{X: 0, Y: 0}, c)
+	net.AddNode("b", netsim.Position{X: 5, Y: 0}, c)
+	net.AddNode("c", netsim.Position{X: 0, Y: 5}, c)
+	sn := NewSimNetwork(net)
+	eps := map[string]Endpoint{}
+	for _, id := range []string{"a", "b", "c"} {
+		ep, err := sn.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = ep
+	}
+	ma := NewMux(eps["a"])
+	got := map[string]string{}
+	for _, id := range []string{"b", "c"} {
+		id := id
+		NewMux(eps[id]).Channel(ChanBeacon).SetHandler(func(from string, p []byte) {
+			got[id] = from + ":" + string(p)
+		})
+	}
+	if n := ma.Channel(ChanBeacon).Broadcast([]byte("hello")); n != 2 {
+		t.Errorf("Broadcast = %d", n)
+	}
+	sim.RunUntilIdle(0)
+	if got["b"] != "a:hello" || got["c"] != "a:hello" {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestMuxDoubleHandlerPanics(t *testing.T) {
+	_, ea, _ := newSimPair(t)
+	ma := NewMux(ea)
+	ma.Channel(ChanKernel).SetHandler(func(string, []byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second SetHandler on same channel did not panic")
+		}
+	}()
+	ma.Channel(ChanKernel).SetHandler(func(string, []byte) {})
+}
+
+func TestMuxChannelClose(t *testing.T) {
+	sim, ea, eb := newSimPair(t)
+	ma := NewMux(ea)
+	mb := NewMux(eb)
+	ch := mb.Channel(ChanKernel)
+	count := 0
+	ch.SetHandler(func(string, []byte) { count++ })
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Handler slot is free again after Close.
+	ch.SetHandler(func(string, []byte) { count += 10 })
+	if err := ma.Channel(ChanKernel).Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntilIdle(0)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"logmob/internal/wire"
+)
+
+// TCPEndpoint is an Endpoint over real TCP connections. Each message is one
+// wire frame containing the sender address and the payload. Connections are
+// opened lazily on first send and reused; inbound connections announce the
+// peer's canonical address in a hello frame.
+type TCPEndpoint struct {
+	ln      net.Listener
+	addr    string
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP starts an endpoint listening on listenAddr (e.g. "127.0.0.1:0").
+func ListenTCP(listenAddr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	e := &TCPEndpoint{
+		ln:    ln,
+		addr:  ln.Addr().String(),
+		conns: make(map[string]net.Conn),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's listen address.
+func (e *TCPEndpoint) Addr() string { return e.addr }
+
+// SetHandler installs the receive callback.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn, "")
+	}
+}
+
+// readLoop consumes frames from conn. peer is the canonical remote address
+// once known; for inbound connections it is learned from the first frame.
+func (e *TCPEndpoint) readLoop(conn net.Conn, peer string) {
+	defer e.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			if peer != "" {
+				e.dropConn(peer, conn)
+			}
+			return
+		}
+		r := wire.NewReader(frame)
+		from := r.String()
+		payload := r.Bytes()
+		if r.ExpectEOF() != nil || from == "" {
+			continue // malformed frame; skip
+		}
+		if peer == "" {
+			peer = from
+			e.adoptConn(peer, conn)
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil && len(payload) > 0 {
+			h(from, payload)
+		}
+	}
+}
+
+// adoptConn records an inbound connection under the peer's canonical address
+// so replies reuse it.
+func (e *TCPEndpoint) adoptConn(peer string, conn net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.conns[peer]; !exists {
+		e.conns[peer] = conn
+	}
+}
+
+func (e *TCPEndpoint) dropConn(peer string, conn net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[peer] == conn {
+		delete(e.conns, peer)
+	}
+}
+
+// ErrClosed reports an operation on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+func (e *TCPEndpoint) getConn(to string) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return conn, nil
+	}
+	e.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", to, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	// Send a hello frame (empty payload) announcing our canonical address so
+	// the peer can route replies over this connection.
+	var hello wire.Buffer
+	hello.PutString(e.addr)
+	hello.PutBytes(nil)
+	if _, err := wire.WriteFrame(conn, hello.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	e.conns[to] = conn
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go e.readLoop(conn, to)
+	return conn, nil
+}
+
+// Send transmits payload to the endpoint listening at to.
+func (e *TCPEndpoint) Send(to string, payload []byte) error {
+	conn, err := e.getConn(to)
+	if err != nil {
+		return err
+	}
+	var frame wire.Buffer
+	frame.PutString(e.addr)
+	frame.PutBytes(payload)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := wire.WriteFrame(conn, frame.Bytes()); err != nil {
+		if e.conns[to] == conn {
+			delete(e.conns, to)
+		}
+		conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Broadcast sends payload to every currently connected peer.
+func (e *TCPEndpoint) Broadcast(payload []byte) int {
+	for _, peer := range e.Neighbors() {
+		_ = e.Send(peer, payload) // best effort
+	}
+	return len(e.Neighbors())
+}
+
+// Neighbors returns the addresses of currently connected peers.
+func (e *TCPEndpoint) Neighbors() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.conns))
+	for peer := range e.conns {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// Close shuts the listener and all connections down and waits for reader
+// goroutines to exit.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	err := e.ln.Close()
+	for peer, conn := range e.conns {
+		conn.Close()
+		delete(e.conns, peer)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return err
+}
+
+// WallScheduler implements Scheduler on wall-clock time.
+type WallScheduler struct {
+	start time.Time
+}
+
+var _ Scheduler = (*WallScheduler)(nil)
+
+// NewWallScheduler returns a scheduler whose clock starts now.
+func NewWallScheduler() *WallScheduler {
+	return &WallScheduler{start: time.Now()}
+}
+
+// Now returns elapsed wall time since the scheduler was created.
+func (s *WallScheduler) Now() time.Duration { return time.Since(s.start) }
+
+// After runs fn on its own goroutine after d.
+func (s *WallScheduler) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}

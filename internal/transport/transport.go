@@ -1,0 +1,44 @@
+// Package transport abstracts message delivery between logmob hosts.
+//
+// The middleware kernel talks to peers only through the Endpoint interface,
+// so the same kernel runs unchanged over two implementations: the
+// deterministic network simulator (experiments and tests) and real TCP
+// (cmd/logmobd). A Scheduler abstraction likewise hides whether time is
+// virtual or wall-clock.
+package transport
+
+import (
+	"time"
+)
+
+// Handler receives a message addressed to the endpoint. Simulator handlers
+// run on the simulation goroutine and must not block; TCP handlers run on the
+// connection's reader goroutine.
+type Handler func(from string, payload []byte)
+
+// Endpoint sends and receives framed messages for one host address.
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() string
+	// Send transmits payload to the endpoint at the given address.
+	Send(to string, payload []byte) error
+	// Broadcast transmits payload to every neighbor/known peer. It returns
+	// the number of peers targeted. Best effort.
+	Broadcast(payload []byte) int
+	// Neighbors lists the addresses currently reachable in one hop.
+	Neighbors() []string
+	// SetHandler installs the receive callback. Must be called before any
+	// message can be delivered.
+	SetHandler(h Handler)
+	// Close releases the endpoint's resources.
+	Close() error
+}
+
+// Scheduler schedules callbacks in the endpoint's notion of time.
+type Scheduler interface {
+	// Now returns the elapsed time on this scheduler's clock.
+	Now() time.Duration
+	// After runs fn once after d. The returned function cancels the
+	// callback if it has not fired.
+	After(d time.Duration, fn func()) (cancel func())
+}

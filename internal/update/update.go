@@ -1,0 +1,184 @@
+// Package update implements the middleware's self-update loop.
+//
+// The paper: "Next generation middleware should be able to ... use COD
+// techniques to dynamically update itself." Providers advertise the
+// components they publish (with version attributes) through either discovery
+// style; an Updater on each device periodically compares those
+// advertisements against its local registry and fetches anything newer —
+// Code On Demand applied to the middleware's own component base.
+package update
+
+import (
+	"time"
+
+	"logmob/internal/core"
+	"logmob/internal/discovery"
+	"logmob/internal/lmu"
+	"logmob/internal/transport"
+)
+
+// ServicePrefix is the discovery service namespace for component
+// advertisements: a unit named "codec/ogg" is advertised as
+// "component/codec/ogg".
+const ServicePrefix = "component/"
+
+// VersionAttr is the advertisement attribute carrying the published version.
+const VersionAttr = "version"
+
+// Advertiser is the subset of discovery used to announce components
+// (satisfied by *discovery.Beacon and *discovery.LookupClient via small
+// adapters below).
+type Advertiser interface {
+	Advertise(ad discovery.Ad)
+}
+
+// beaconAdvertiser adapts *discovery.Beacon (whose Advertise matches
+// directly).
+type beaconAdvertiser struct{ b *discovery.Beacon }
+
+func (a beaconAdvertiser) Advertise(ad discovery.Ad) { a.b.Advertise(ad) }
+
+// lookupAdvertiser adapts *discovery.LookupClient, dropping the send error
+// (renewals retry).
+type lookupAdvertiser struct{ c *discovery.LookupClient }
+
+func (a lookupAdvertiser) Advertise(ad discovery.Ad) { _ = a.c.Advertise(ad) }
+
+// ViaBeacon wraps a Beacon as an Advertiser.
+func ViaBeacon(b *discovery.Beacon) Advertiser { return beaconAdvertiser{b: b} }
+
+// ViaLookup wraps a LookupClient as an Advertiser.
+func ViaLookup(c *discovery.LookupClient) Advertiser { return lookupAdvertiser{c: c} }
+
+// AdvertiseComponents announces every component the host currently
+// publishes, with its newest version, under the component namespace.
+// Call it again after publishing new versions.
+func AdvertiseComponents(h *core.Host, adv Advertiser, ttl time.Duration) int {
+	count := 0
+	for _, name := range h.Published() {
+		u, ok := h.Registry().Get(name)
+		if !ok {
+			continue
+		}
+		adv.Advertise(discovery.Ad{
+			Service:  ServicePrefix + name,
+			Provider: h.Addr(),
+			Attrs:    map[string]string{VersionAttr: u.Manifest.Version},
+			TTL:      ttl,
+		})
+		count++
+	}
+	return count
+}
+
+// Stats counts updater activity.
+type Stats struct {
+	Checks   int64
+	Fetches  int64
+	Updated  int64
+	Failures int64
+}
+
+// Updater keeps a host's locally held components current with what the
+// network advertises.
+type Updater struct {
+	host     *core.Host
+	finder   discovery.Finder
+	sched    transport.Scheduler
+	interval time.Duration
+	// OnUpdate, if set, observes each successful component update.
+	OnUpdate func(name, provider, oldVersion, newVersion string)
+
+	running bool
+	cancel  func()
+	stats   Stats
+}
+
+// New builds an updater that checks every interval using finder to learn
+// about newer versions.
+func New(h *core.Host, finder discovery.Finder, sched transport.Scheduler, interval time.Duration) *Updater {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	return &Updater{host: h, finder: finder, sched: sched, interval: interval}
+}
+
+// Stats returns a snapshot of the updater counters.
+func (u *Updater) Stats() Stats { return u.stats }
+
+// Start begins periodic checking. The first check runs immediately.
+func (u *Updater) Start() {
+	if u.running {
+		return
+	}
+	u.running = true
+	u.tick()
+}
+
+func (u *Updater) tick() {
+	if !u.running {
+		return
+	}
+	u.CheckNow()
+	u.cancel = u.sched.After(u.interval, u.tick)
+}
+
+// Stop halts periodic checking.
+func (u *Updater) Stop() {
+	u.running = false
+	if u.cancel != nil {
+		u.cancel()
+		u.cancel = nil
+	}
+}
+
+// CheckNow performs one update pass over every locally held component.
+func (u *Updater) CheckNow() {
+	u.stats.Checks++
+	seen := map[string]string{} // name -> newest local version
+	for _, m := range u.host.Registry().List() {
+		if m.Kind != lmu.KindComponent {
+			continue
+		}
+		if v, ok := seen[m.Name]; !ok || lmu.CompareVersions(m.Version, v) > 0 {
+			seen[m.Name] = m.Version
+		}
+	}
+	for name, localVersion := range seen {
+		name, localVersion := name, localVersion
+		u.finder.Find(discovery.Query{Service: ServicePrefix + name}, func(ads []discovery.Ad) {
+			best := bestAd(ads, localVersion)
+			if best == nil {
+				return
+			}
+			remote := best.Attrs[VersionAttr]
+			u.stats.Fetches++
+			u.host.Fetch(best.Provider, name, remote, func(unit *lmu.Unit, err error) {
+				if err != nil {
+					u.stats.Failures++
+					return
+				}
+				u.stats.Updated++
+				if u.OnUpdate != nil {
+					u.OnUpdate(name, best.Provider, localVersion, unit.Manifest.Version)
+				}
+			})
+		})
+	}
+}
+
+// bestAd returns the advertisement with the highest version strictly newer
+// than local, or nil.
+func bestAd(ads []discovery.Ad, local string) *discovery.Ad {
+	var best *discovery.Ad
+	for i := range ads {
+		v := ads[i].Attrs[VersionAttr]
+		if v == "" || lmu.CompareVersions(v, local) <= 0 {
+			continue
+		}
+		if best == nil || lmu.CompareVersions(v, best.Attrs[VersionAttr]) > 0 {
+			best = &ads[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,194 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// expr is a random arithmetic expression tree used to cross-check the
+// interpreter against direct Go evaluation.
+type expr struct {
+	op          string // "" for a constant
+	val         int64
+	left, right *expr
+}
+
+// genExpr builds a random expression of bounded depth. Division and modulo
+// are excluded (zero divisors) — they have dedicated error tests.
+func genExpr(rng *rand.Rand, depth int) *expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return &expr{val: rng.Int63n(2001) - 1000}
+	}
+	ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+	return &expr{
+		op:    ops[rng.Intn(len(ops))],
+		left:  genExpr(rng, depth-1),
+		right: genExpr(rng, depth-1),
+	}
+}
+
+// eval computes the expression in Go.
+func (e *expr) eval() int64 {
+	if e.op == "" {
+		return e.val
+	}
+	a, b := e.left.eval(), e.right.eval()
+	switch e.op {
+	case "add":
+		return a + b
+	case "sub":
+		return a - b
+	case "mul":
+		return a * b
+	case "and":
+		return a & b
+	case "or":
+		return a | b
+	case "xor":
+		return a ^ b
+	}
+	panic("unreachable")
+}
+
+// compile emits postorder stack code.
+func (e *expr) compile(sb *strings.Builder) {
+	if e.op == "" {
+		fmt.Fprintf(sb, "\tpush %d\n", e.val)
+		return
+	}
+	e.left.compile(sb)
+	e.right.compile(sb)
+	fmt.Fprintf(sb, "\t%s\n", e.op)
+}
+
+// TestRandomExpressionsMatchGo compiles 300 random expression trees to VM
+// programs and checks the interpreter computes exactly what Go does —
+// including wrap-around overflow semantics.
+func TestRandomExpressionsMatchGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 300; i++ {
+		e := genExpr(rng, 6)
+		var sb strings.Builder
+		sb.WriteString(".entry main\nmain:\n")
+		e.compile(&sb)
+		sb.WriteString("\thalt\n")
+
+		prog, err := Assemble(sb.String())
+		if err != nil {
+			t.Fatalf("case %d: assemble: %v\n%s", i, err, sb.String())
+		}
+		// Round-trip the program through its wire encoding too: transported
+		// code must behave identically.
+		prog, err = DecodeProgram(prog.Encode())
+		if err != nil {
+			t.Fatalf("case %d: re-decode: %v", i, err)
+		}
+		m, err := New(prog, nil, 1<<20)
+		if err != nil {
+			t.Fatalf("case %d: new: %v", i, err)
+		}
+		if err := m.SetEntry("main"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("case %d: run: %v", i, err)
+		}
+		stack := m.Stack()
+		want := e.eval()
+		if len(stack) != 1 || stack[0] != want {
+			t.Fatalf("case %d: VM = %v, Go = %d\n%s", i, stack, want, sb.String())
+		}
+	}
+}
+
+// TestRandomSnapshotMidExpression interrupts random computations at an
+// arbitrary point via fuel exhaustion, snapshots, restores and finishes —
+// the result must still match Go.
+func TestRandomSnapshotMidExpression(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		e := genExpr(rng, 6)
+		var sb strings.Builder
+		sb.WriteString(".entry main\nmain:\n")
+		e.compile(&sb)
+		sb.WriteString("\thalt\n")
+		prog := MustAssemble(sb.String())
+
+		m, err := New(prog, nil, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetEntry("main"); err != nil {
+			t.Fatal(err)
+		}
+		// First run the whole thing to learn the step count.
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		total := m.Steps
+		want := e.eval()
+
+		// Now re-run with fuel that runs out somewhere in the middle,
+		// snapshot at the stall, restore, finish.
+		cut := 1 + rng.Int63n(total)
+		m2, err := New(prog, nil, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.SetEntry("main"); err != nil {
+			t.Fatal(err)
+		}
+		runErr := m2.Run()
+		if runErr == nil {
+			// Finished before the cut (cut == total): fine.
+			if got := m2.Stack(); len(got) != 1 || got[0] != want {
+				t.Fatalf("case %d: uncut run = %v, want %d", i, got, want)
+			}
+			continue
+		}
+		snap := m2.Snapshot()
+		m3, err := Restore(prog, nil, 1<<20, snap)
+		if err != nil {
+			t.Fatalf("case %d: restore: %v", i, err)
+		}
+		if err := m3.Run(); err != nil {
+			t.Fatalf("case %d: resumed run: %v", i, err)
+		}
+		if got := m3.Stack(); len(got) != 1 || got[0] != want {
+			t.Fatalf("case %d: resumed VM = %v, Go = %d (cut at %d/%d)",
+				i, got, want, cut, total)
+		}
+	}
+}
+
+// TestDeepExpressionWithinStackLimit verifies that a right-leaning
+// expression close to the stack limit still evaluates, and one beyond it
+// fails cleanly rather than corrupting state.
+func TestDeepExpressionWithinStackLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".entry main\nmain:\n")
+	n := 4000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "\tpush 1\n")
+	}
+	for i := 0; i < n-1; i++ {
+		sb.WriteString("\tadd\n")
+	}
+	sb.WriteString("\thalt\n")
+	prog := MustAssemble(sb.String())
+	m, err := New(prog, nil, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stack := m.Stack(); len(stack) != 1 || stack[0] != int64(n) {
+		t.Errorf("stack = %v", stack)
+	}
+}

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, math.MaxUint64}
+	var b Buffer
+	for _, v := range values {
+		b.PutUint(v)
+	}
+	r := NewReader(b.Bytes())
+	for _, want := range values {
+		if got := r.Uint(); got != want {
+			t.Errorf("Uint() = %d, want %d", got, want)
+		}
+	}
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	values := []int64{0, 1, -1, 63, -64, 64, -65, math.MaxInt64, math.MinInt64}
+	var b Buffer
+	for _, v := range values {
+		b.PutInt(v)
+	}
+	r := NewReader(b.Bytes())
+	for _, want := range values {
+		if got := r.Int(); got != want {
+			t.Errorf("Int() = %d, want %d", got, want)
+		}
+	}
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+}
+
+func TestIntPropertyRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		var b Buffer
+		b.PutInt(v)
+		r := NewReader(b.Bytes())
+		return r.Int() == v && r.ExpectEOF() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintPropertyRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var b Buffer
+		b.PutUint(v)
+		r := NewReader(b.Bytes())
+		return r.Uint() == v && r.ExpectEOF() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringBytesRoundTrip(t *testing.T) {
+	var b Buffer
+	b.PutString("hello")
+	b.PutString("")
+	b.PutBytes([]byte{1, 2, 3})
+	b.PutBytes(nil)
+	b.PutBool(true)
+	b.PutBool(false)
+	b.PutByte(0xAB)
+	b.PutFloat(3.5)
+	b.PutFloat(math.Inf(-1))
+
+	r := NewReader(b.Bytes())
+	if got := r.String(); got != "hello" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String() = %q, want empty", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes() = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("Bytes() = %v, want empty", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("Byte() = %#x", got)
+	}
+	if got := r.Float(); got != 3.5 {
+		t.Errorf("Float() = %v", got)
+	}
+	if got := r.Float(); !math.IsInf(got, -1) {
+		t.Errorf("Float() = %v, want -Inf", got)
+	}
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+}
+
+func TestStringPropertyRoundTrip(t *testing.T) {
+	f := func(s string, p []byte) bool {
+		var b Buffer
+		b.PutString(s)
+		b.PutBytes(p)
+		r := NewReader(b.Bytes())
+		gs := r.String()
+		gp := r.Bytes()
+		return gs == s && bytes.Equal(gp, p) && r.ExpectEOF() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMapRoundTrip(t *testing.T) {
+	m := map[string]string{"b": "2", "a": "1", "": "", "key": "value"}
+	var b Buffer
+	b.PutStringMap(m)
+	r := NewReader(b.Bytes())
+	got := r.StringMap()
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("StringMap() = %v, want %v", got, m)
+	}
+}
+
+func TestStringMapDeterministic(t *testing.T) {
+	m := map[string]string{"x": "1", "y": "2", "z": "3", "w": "4"}
+	var first []byte
+	for i := 0; i < 10; i++ {
+		var b Buffer
+		b.PutStringMap(m)
+		if first == nil {
+			first = append([]byte(nil), b.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, b.Bytes()) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+func TestBytesMapRoundTrip(t *testing.T) {
+	m := map[string][]byte{"code": {1, 2}, "state": {}, "data": {0xFF}}
+	var b Buffer
+	b.PutBytesMap(m)
+	r := NewReader(b.Bytes())
+	got := r.BytesMap()
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+	if len(got) != len(m) {
+		t.Fatalf("BytesMap() has %d entries, want %d", len(got), len(m))
+	}
+	for k, v := range m {
+		if !bytes.Equal(got[k], v) {
+			t.Errorf("BytesMap()[%q] = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestStringSliceRoundTrip(t *testing.T) {
+	ss := []string{"one", "", "three"}
+	var b Buffer
+	b.PutStringSlice(ss)
+	r := NewReader(b.Bytes())
+	got := r.StringSlice()
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("ExpectEOF: %v", err)
+	}
+	if !reflect.DeepEqual(got, ss) {
+		t.Errorf("StringSlice() = %v, want %v", got, ss)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var b Buffer
+	b.PutString("hello world")
+	enc := b.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		r := NewReader(enc[:cut])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestReaderErrorLatching(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uint() // fails with ErrTruncated
+	first := r.Err()
+	if !errors.Is(first, ErrTruncated) {
+		t.Fatalf("Err() = %v, want ErrTruncated", first)
+	}
+	// Subsequent reads must not change the latched error and must return
+	// zero values.
+	if got := r.String(); got != "" {
+		t.Errorf("String() after error = %q", got)
+	}
+	if got := r.Float(); got != 0 {
+		t.Errorf("Float() after error = %v", got)
+	}
+	if r.Err() != first {
+		t.Error("latched error was replaced")
+	}
+}
+
+func TestReaderTooLarge(t *testing.T) {
+	var b Buffer
+	b.PutUint(MaxBytesLen + 1)
+	r := NewReader(b.Bytes())
+	_ = r.Bytes()
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Fatalf("Err() = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	var b Buffer
+	b.PutUint(1)
+	b.PutUint(2)
+	r := NewReader(b.Bytes())
+	_ = r.Uint()
+	if err := r.ExpectEOF(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("ExpectEOF = %v, want ErrTrailing", err)
+	}
+}
+
+func TestMapLengthBomb(t *testing.T) {
+	// A claimed element count far beyond the actual payload must be
+	// rejected, not allocated.
+	var b Buffer
+	b.PutUint(1 << 40)
+	r := NewReader(b.Bytes())
+	if m := r.StringMap(); m != nil {
+		t.Errorf("StringMap() = %v, want nil", m)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error for length bomb")
+	}
+}
+
+func TestBytesDoesNotAliasInput(t *testing.T) {
+	var b Buffer
+	b.PutBytes([]byte{9, 9, 9})
+	enc := append([]byte(nil), b.Bytes()...)
+	r := NewReader(enc)
+	got := r.Bytes()
+	enc[1] = 0 // mutate input; decoded copy must be unaffected
+	if got[0] != 9 || got[1] != 9 || got[2] != 9 {
+		t.Errorf("Bytes() aliases reader input: %v", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAA}, 1000)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if _, err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %v, want %v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("ReadFrame at end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	trunc := bytes.NewBuffer(buf.Bytes()[:3])
+	if _, err := ReadFrame(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFrame = %v, want ErrTruncated", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var hdr Buffer
+	hdr.PutUint(MaxFrameLen + 1)
+	if _, err := ReadFrame(bytes.NewBuffer(hdr.Bytes())); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadFrame = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUintLen(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}, {math.MaxUint64, 10},
+	}
+	for _, c := range cases {
+		if got := UintLen(c.v); got != c.want {
+			t.Errorf("UintLen(%d) = %d, want %d", c.v, got, c.want)
+		}
+		var b Buffer
+		b.PutUint(c.v)
+		if b.Len() != c.want {
+			t.Errorf("encoded len of %d = %d, want %d", c.v, b.Len(), c.want)
+		}
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	var b Buffer
+	b.PutString("data")
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.PutUint(7)
+	r := NewReader(b.Bytes())
+	if got := r.Uint(); got != 7 {
+		t.Errorf("Uint() = %d after reset reuse", got)
+	}
+}

@@ -1,0 +1,258 @@
+// Package logmob is a mobile computing middleware built around logical
+// mobility, reproducing "Exploiting Logical Mobility in Mobile Computing
+// Middleware" (Zachariadis, Mascolo, Emmerich; ICDCS 2002 Workshops).
+//
+// The middleware gives every device a Host: a protected runtime offering the
+// four mobile-code paradigms of Fuggetta, Picco and Vigna —
+//
+//   - Client/Server: Host.RegisterService / Host.Call
+//   - Remote Evaluation: Host.Eval
+//   - Code On Demand: Host.Publish / Host.Fetch / Host.RunComponent
+//   - Mobile Agents: agent.Platform over Host.SendAgent
+//
+// Mobile code is bytecode for the built-in VM (Go cannot load code at run
+// time, so code really is data here: assembled, signed, shipped, verified,
+// executed, snapshotted mid-run and resumed elsewhere). Units of movement
+// are Logical Mobility Units: code + data + execution state + manifest +
+// signature.
+//
+// The same kernel runs over two transports: a deterministic discrete-event
+// wireless simulator (ad-hoc, WLAN, GPRS and LAN link classes with radio
+// range, mobility, loss, per-byte cost and energy) and real TCP. Context
+// awareness, service discovery (Jini-style centralised lookup and
+// decentralised beaconing), a quota-bounded component registry with
+// eviction, ed25519 code signing, and a paradigm-selection policy engine
+// complete the system.
+//
+// This package is the facade: it re-exports the public surface a downstream
+// user needs. The implementation lives in internal/ packages; the runnable
+// entry points are in examples/ and cmd/.
+package logmob
+
+import (
+	"time"
+
+	"logmob/internal/adapt"
+	"logmob/internal/agent"
+	"logmob/internal/core"
+	"logmob/internal/ctxsvc"
+	"logmob/internal/discovery"
+	"logmob/internal/lmu"
+	"logmob/internal/netsim"
+	"logmob/internal/policy"
+	"logmob/internal/registry"
+	"logmob/internal/security"
+	"logmob/internal/transport"
+	"logmob/internal/update"
+	"logmob/internal/vm"
+)
+
+// Kernel types.
+type (
+	// Host is a device's middleware kernel.
+	Host = core.Host
+	// HostConfig assembles a Host.
+	HostConfig = core.Config
+	// ServiceFunc implements a Client/Server service.
+	ServiceFunc = core.ServiceFunc
+)
+
+// NewHost builds a middleware kernel from cfg.
+func NewHost(cfg HostConfig) (*Host, error) { return core.NewHost(cfg) }
+
+// Logical Mobility Units.
+type (
+	// Unit is a Logical Mobility Unit: code + data + state + manifest.
+	Unit = lmu.Unit
+	// Manifest identifies and describes a Unit.
+	Manifest = lmu.Manifest
+	// UnitKind classifies a Unit.
+	UnitKind = lmu.Kind
+)
+
+// Unit kinds.
+const (
+	KindComponent = lmu.KindComponent
+	KindAgent     = lmu.KindAgent
+	KindRequest   = lmu.KindRequest
+	KindData      = lmu.KindData
+)
+
+// UnpackUnit parses a packed unit.
+func UnpackUnit(data []byte) (*Unit, error) { return lmu.Unpack(data) }
+
+// Virtual machine.
+type (
+	// Program is mobile bytecode.
+	Program = vm.Program
+	// Machine executes a Program.
+	Machine = vm.Machine
+	// HostTable is the capability set granted to a Program.
+	HostTable = vm.HostTable
+)
+
+// Assemble translates VM assembly into a Program.
+func Assemble(src string) (*Program, error) { return vm.Assemble(src) }
+
+// MustAssemble is Assemble panicking on error.
+func MustAssemble(src string) *Program { return vm.MustAssemble(src) }
+
+// Disassemble renders a Program as assembly.
+func Disassemble(p *Program) string { return vm.Disassemble(p) }
+
+// Security.
+type (
+	// Identity is a named signing keypair.
+	Identity = security.Identity
+	// TrustStore maps signer names to trusted keys.
+	TrustStore = security.TrustStore
+	// SecurityPolicy governs acceptance of foreign units.
+	SecurityPolicy = security.Policy
+)
+
+// NewIdentity generates a fresh keypair.
+func NewIdentity(name string) (*Identity, error) { return security.NewIdentity(name) }
+
+// NewTrustStore returns an empty trust store.
+func NewTrustStore() *TrustStore { return security.NewTrustStore() }
+
+// VerifyUnit checks a unit's signature under a policy.
+func VerifyUnit(u *Unit, trust *TrustStore, pol SecurityPolicy) error {
+	return security.Verify(u, trust, pol)
+}
+
+// Registry.
+type (
+	// Registry is the quota-bounded local component store.
+	Registry = registry.Registry
+	// EvictionPolicy chooses eviction victims.
+	EvictionPolicy = registry.EvictionPolicy
+)
+
+// NewRegistry returns a registry with the given quota (0 = unlimited).
+func NewRegistry(quota int64, opts ...registry.Option) *Registry {
+	return registry.New(quota, opts...)
+}
+
+// Agents.
+type (
+	// AgentPlatform hosts mobile agents on a Host.
+	AgentPlatform = agent.Platform
+	// AgentEnv configures the protected agent environment.
+	AgentEnv = agent.Env
+	// AgentRecord describes a finished agent.
+	AgentRecord = agent.Record
+)
+
+// NewAgentPlatform attaches an agent runtime to a Host.
+func NewAgentPlatform(h *Host, env AgentEnv) *AgentPlatform { return agent.NewPlatform(h, env) }
+
+// Discovery.
+type (
+	// ServiceAd advertises a service.
+	ServiceAd = discovery.Ad
+	// ServiceQuery matches advertisements.
+	ServiceQuery = discovery.Query
+	// LookupServer is a Jini-style centralised index.
+	LookupServer = discovery.LookupServer
+	// LookupClient talks to a LookupServer.
+	LookupClient = discovery.LookupClient
+	// Beacon is decentralised ad-hoc discovery.
+	Beacon = discovery.Beacon
+)
+
+// Context awareness.
+type (
+	// Context is a host's context service.
+	Context = ctxsvc.Service
+	// ContextKey names a context attribute.
+	ContextKey = ctxsvc.Key
+	// ContextValue is an attribute value.
+	ContextValue = ctxsvc.Value
+)
+
+// Paradigm selection.
+type (
+	// Paradigm is one of CS, REV, COD, MA.
+	Paradigm = policy.Paradigm
+	// ParadigmTask describes an interaction for the cost model.
+	ParadigmTask = policy.Task
+	// ParadigmDecider chooses a paradigm from context.
+	ParadigmDecider = policy.Decider
+)
+
+// The four paradigms.
+const (
+	CS  = policy.CS
+	REV = policy.REV
+	COD = policy.COD
+	MA  = policy.MA
+)
+
+// Self-update.
+type (
+	// Updater keeps a host's components current via COD.
+	Updater = update.Updater
+)
+
+// NewUpdater builds a self-updater checking every interval.
+func NewUpdater(h *Host, finder discovery.Finder, sched transport.Scheduler, interval time.Duration) *Updater {
+	return update.New(h, finder, sched, interval)
+}
+
+// AdvertiseComponents announces a host's published components for updaters
+// to discover.
+func AdvertiseComponents(h *Host, adv update.Advertiser, ttl time.Duration) int {
+	return update.AdvertiseComponents(h, adv, ttl)
+}
+
+// Adaptive execution.
+type (
+	// TaskRunner executes tasks under the paradigm a decider selects.
+	TaskRunner = adapt.Runner
+	// TaskSpec describes a task for adaptive execution.
+	TaskSpec = adapt.TaskSpec
+	// TaskOutcome reports how a task ran.
+	TaskOutcome = adapt.Outcome
+)
+
+// NewTaskRunner builds an adaptive runner on h (nil decider = cost model).
+func NewTaskRunner(h *Host, d ParadigmDecider) *TaskRunner { return adapt.NewRunner(h, d) }
+
+// Simulation substrate.
+type (
+	// Sim is the discrete-event scheduler.
+	Sim = netsim.Sim
+	// SimNetwork adapts a simulated network to transport endpoints.
+	SimNetwork = transport.SimNetwork
+	// Network is the simulated wireless field.
+	Network = netsim.Network
+	// Position is a point on the field.
+	Position = netsim.Position
+	// LinkClass describes a physical layer.
+	LinkClass = netsim.LinkClass
+)
+
+// Predefined link classes.
+var (
+	AdHoc = netsim.AdHoc
+	WLAN  = netsim.WLAN
+	GPRS  = netsim.GPRS
+	LAN   = netsim.LAN
+)
+
+// NewSim returns a deterministic simulator for the given seed.
+func NewSim(seed int64) *Sim { return netsim.NewSim(seed) }
+
+// NewNetwork returns an empty simulated network driven by sim.
+func NewNetwork(sim *Sim) *Network { return netsim.NewNetwork(sim) }
+
+// NewSimNetwork adapts net for transport endpoints.
+func NewSimNetwork(net *Network) *SimNetwork { return transport.NewSimNetwork(net) }
+
+// ListenTCP starts a real-TCP endpoint (for daemons; the simulator is the
+// default substrate for experiments).
+func ListenTCP(addr string) (*transport.TCPEndpoint, error) { return transport.ListenTCP(addr) }
+
+// NewWallScheduler returns a wall-clock scheduler for real-TCP hosts.
+func NewWallScheduler() *transport.WallScheduler { return transport.NewWallScheduler() }
