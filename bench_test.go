@@ -278,3 +278,11 @@ func newBenchPlatform(h *core.Host) *agent.Platform {
 }
 
 func BenchmarkA3UpdateCadence(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkT11FestivalScale regenerates the 2000-node festival scenario —
+// the end-to-end proof that the grid-indexed simulator stays tractable at
+// crowd scale. The netsim scaling micro-benchmarks (Neighbors/Broadcast/
+// Route at n=100..5000, grid vs the linear-scan oracle) live in
+// internal/netsim/grid_bench_test.go, where the unexported oracle is
+// reachable.
+func BenchmarkT11FestivalScale(b *testing.B) { benchExperiment(b, "T11") }

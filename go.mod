@@ -1,0 +1,3 @@
+module logmob
+
+go 1.24

@@ -81,7 +81,7 @@ func TestMessengerRetriesThroughPartition(t *testing.T) {
 	m.Send("a", "b", []byte("x"), func(o MessageOutcome) { out = o })
 	// Heal the partition at t=10s by walking b into range.
 	sim.Schedule(10*time.Second, func() {
-		net.Node("b").Pos = netsim.Position{X: 20, Y: 0}
+		net.SetPos("b", netsim.Position{X: 20, Y: 0})
 	})
 	sim.RunFor(2 * time.Minute)
 	if !out.Delivered {

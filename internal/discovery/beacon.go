@@ -17,6 +17,7 @@ type Beacon struct {
 	sched    transport.Scheduler
 	interval time.Duration
 	local    map[string]Ad // service -> own ad
+	frame    []byte        // cached encoded beacon; nil after local changes
 	cache    *adTable
 	stop     func()
 	running  bool
@@ -56,11 +57,13 @@ func (b *Beacon) Advertise(ad Ad) {
 		ad.TTL = 3 * b.interval
 	}
 	b.local[ad.Service] = ad
+	b.frame = nil
 }
 
 // Withdraw removes a local advertisement. Neighbors expire it by TTL.
 func (b *Beacon) Withdraw(service string) {
 	delete(b.local, service)
+	b.frame = nil
 }
 
 // Start begins periodic broadcasting. The first beacon goes out immediately.
@@ -80,28 +83,34 @@ func (b *Beacon) tick() {
 	b.stop = b.sched.After(b.interval, b.tick)
 }
 
-// broadcastNow sends one beacon containing all local ads.
+// broadcastNow sends one beacon containing all local ads. The encoded
+// frame only depends on the ad set (TTLs are relative), so it is built once
+// per Advertise/Withdraw and reused across ticks — at thousands of
+// beaconing nodes the per-tick sort+encode is the discovery hot path.
 func (b *Beacon) broadcastNow() {
 	if len(b.local) == 0 {
 		return
 	}
-	var buf wire.Buffer
-	buf.PutUint(uint64(len(b.local)))
-	// Deterministic order.
-	services := make([]string, 0, len(b.local))
-	for s := range b.local {
-		services = append(services, s)
-	}
-	for i := 1; i < len(services); i++ {
-		for j := i; j > 0 && services[j] < services[j-1]; j-- {
-			services[j], services[j-1] = services[j-1], services[j]
+	if b.frame == nil {
+		var buf wire.Buffer
+		buf.PutUint(uint64(len(b.local)))
+		// Deterministic order.
+		services := make([]string, 0, len(b.local))
+		for s := range b.local {
+			services = append(services, s)
 		}
+		for i := 1; i < len(services); i++ {
+			for j := i; j > 0 && services[j] < services[j-1]; j-- {
+				services[j], services[j-1] = services[j-1], services[j]
+			}
+		}
+		for _, s := range services {
+			ad := b.local[s]
+			ad.encode(&buf)
+		}
+		b.frame = buf.Bytes()
 	}
-	for _, s := range services {
-		ad := b.local[s]
-		ad.encode(&buf)
-	}
-	b.ep.Broadcast(buf.Bytes())
+	b.ep.Broadcast(b.frame)
 	b.Sent++
 }
 

@@ -242,7 +242,7 @@ func TestBeaconExpiryAfterDeparture(t *testing.T) {
 		t.Fatalf("CacheSize = %d", bb.CacheSize())
 	}
 	// a leaves radio range; its ads must expire from b's cache by TTL.
-	r.net.Node("a").Pos = netsim.Position{X: 1000, Y: 0}
+	r.net.SetPos("a", netsim.Position{X: 1000, Y: 0})
 	r.sim.RunFor(30 * time.Second)
 	var got []Ad
 	bb.Find(Query{Service: "svc"}, func(ads []Ad) { got = ads })

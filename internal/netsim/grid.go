@@ -1,0 +1,103 @@
+package netsim
+
+import "math"
+
+// cellKey addresses one cell of the uniform grid.
+type cellKey struct{ cx, cy int32 }
+
+// grid is a uniform spatial index over the network's non-infrastructure
+// nodes. Cells are squares of cellSize metres keyed by their integer
+// coordinates; cellSize tracks the largest finite radio range seen, so a
+// range query never has to look beyond the ring of cells adjacent to the
+// query radius. Infrastructure nodes are position-independent and live in
+// the Network's dedicated infra set instead.
+//
+// The grid is a pure candidate generator: queries append whole cells and
+// the caller re-checks exact connectivity, so membership only has to be
+// positionally correct, never range- or liveness-aware.
+type grid struct {
+	cellSize float64
+	cells    map[cellKey][]*Node
+	count    int
+}
+
+func newGrid() *grid {
+	return &grid{cellSize: 1, cells: make(map[cellKey][]*Node)}
+}
+
+func (g *grid) keyFor(p Position) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cellSize)),
+		cy: int32(math.Floor(p.Y / g.cellSize)),
+	}
+}
+
+// insert indexes node at its current gridPos.
+func (g *grid) insert(node *Node) {
+	k := g.keyFor(node.gridPos)
+	node.cell = k
+	s := g.cells[k]
+	node.cellSlot = len(s)
+	g.cells[k] = append(s, node)
+	g.count++
+}
+
+// remove unindexes node from its recorded cell in O(1) by swap-removal.
+func (g *grid) remove(node *Node) {
+	s := g.cells[node.cell]
+	last := len(s) - 1
+	moved := s[last]
+	s[node.cellSlot] = moved
+	moved.cellSlot = node.cellSlot
+	s[last] = nil
+	if last == 0 {
+		delete(g.cells, node.cell)
+	} else {
+		g.cells[node.cell] = s[:last]
+	}
+	g.count--
+}
+
+// update moves node to the cell matching its gridPos, if it changed.
+func (g *grid) update(node *Node) {
+	if g.keyFor(node.gridPos) == node.cell {
+		return
+	}
+	g.remove(node)
+	g.insert(node)
+}
+
+// grow rebuilds the index with a larger cell size. Called when a node with
+// a radio range beyond the current cell size joins; queries stay correct at
+// any cell size (the search ring is derived from the query radius), so
+// growing is purely about keeping the ring at most 3x3 cells.
+func (g *grid) grow(cellSize float64, nodes []*Node) {
+	g.cellSize = cellSize
+	g.cells = make(map[cellKey][]*Node, len(g.cells))
+	g.count = 0
+	for _, node := range nodes {
+		if !node.infra {
+			g.insert(node)
+		}
+	}
+}
+
+// appendWithin appends every indexed node whose cell intersects the square
+// of half-width radius around center. Coarse by design: whole cells are
+// appended and the caller re-checks exact distance; order is unspecified,
+// so callers must sort before anything order-sensitive (RNG, delivery).
+func (g *grid) appendWithin(center Position, radius float64, out []*Node) []*Node {
+	if radius < 0 {
+		radius = 0
+	}
+	minX := int32(math.Floor((center.X - radius) / g.cellSize))
+	maxX := int32(math.Floor((center.X + radius) / g.cellSize))
+	minY := int32(math.Floor((center.Y - radius) / g.cellSize))
+	maxY := int32(math.Floor((center.Y + radius) / g.cellSize))
+	for cy := minY; cy <= maxY; cy++ {
+		for cx := minX; cx <= maxX; cx++ {
+			out = append(out, g.cells[cellKey{cx, cy}]...)
+		}
+	}
+	return out
+}

@@ -151,6 +151,9 @@ func (m *Mobility) schedule() {
 		for _, id := range m.nodes {
 			if node := m.net.Node(id); node != nil && node.Up {
 				m.model.Step(m.net, node, m.tick)
+				// Keep the spatial index in step and advance the topology
+				// epoch for any node the model actually moved.
+				m.net.nodeMoved(node)
 			}
 		}
 		m.schedule()

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -97,8 +98,16 @@ type Handler func(from string, payload []byte)
 
 // Node is a device attached to the network.
 type Node struct {
-	ID    string
-	Pos   Position
+	ID string
+	// Pos is the node's current field position. Treat it as read-only
+	// outside netsim: move nodes with Network.SetPos (or a MobilityModel)
+	// so the spatial index and cached neighbor sets see the change.
+	Pos Position
+	// Class and Range are fixed at AddNode time as far as topology is
+	// concerned: mutating fields that affect connectivity (Range,
+	// Class.Range, Class.Infrastructure) afterwards bypasses the spatial
+	// index and the topology epoch, leaving stale cached neighbor sets.
+	// Non-topological fields (e.g. Class.Loss) may be adjusted freely.
 	Class LinkClass
 	// Range overrides Class.Range when nonzero.
 	Range   float64
@@ -110,6 +119,18 @@ type Node struct {
 	target  Position
 	speed   float64
 	pauseTo time.Duration
+
+	// spatial-index bookkeeping maintained by Network.
+	orderIdx int      // insertion index, the network-wide iteration order
+	infra    bool     // lives in the infra set rather than the grid
+	gridPos  Position // the position the index currently reflects
+	cell     cellKey
+	cellSlot int
+
+	// per-node neighbor cache, valid while nbrEpoch matches the network's
+	// topology epoch.
+	nbrCache []string
+	nbrEpoch uint64
 }
 
 // EffectiveRange returns the node's radio range.
@@ -125,11 +146,26 @@ func (n *Node) Usage() Usage { return n.usage }
 
 // Network is a set of nodes over a shared field plus the rules that decide
 // which pairs can currently communicate.
+//
+// Connectivity queries are served by a uniform-grid spatial index over the
+// ad-hoc nodes plus a dedicated set of infrastructure nodes, so Neighbors,
+// Broadcast and Route touch only the nodes near the query instead of
+// scanning the whole field. Query results always resolve to insertion
+// order before any RNG draw or delivery, so a given seed reproduces the
+// same run regardless of index internals.
 type Network struct {
 	sim   *Sim
 	nodes map[string]*Node
 	order []string // insertion order, for deterministic iteration
+	list  []*Node  // nodes in insertion order
+	infra []*Node  // infrastructure nodes in insertion order
+	grid  *grid    // position index over non-infrastructure nodes
 	cuts  map[[2]string]bool
+	// epoch is the topology epoch: it advances on any change that can
+	// affect connectivity (join, move, up/down, cut/restore) and
+	// invalidates every per-node cached neighbor set.
+	epoch   uint64
+	scratch []*Node // reusable candidate buffer for grid queries
 	// DropHandler, when set, observes messages lost to link loss.
 	DropHandler func(from, to string, bytes int)
 }
@@ -139,9 +175,19 @@ func NewNetwork(sim *Sim) *Network {
 	return &Network{
 		sim:   sim,
 		nodes: make(map[string]*Node),
+		grid:  newGrid(),
 		cuts:  make(map[[2]string]bool),
+		epoch: 1,
 	}
 }
+
+// TopologyEpoch returns the current topology epoch. It advances whenever
+// connectivity may have changed, so callers can cheaply detect that cached
+// neighbor-derived state needs refreshing (and experiments can report
+// topology churn).
+func (n *Network) TopologyEpoch() uint64 { return n.epoch }
+
+func (n *Network) bumpEpoch() { n.epoch++ }
 
 // Sim returns the driving simulator.
 func (n *Network) Sim() *Sim { return n.sim }
@@ -152,10 +198,51 @@ func (n *Network) AddNode(id string, pos Position, class LinkClass) *Node {
 	if _, ok := n.nodes[id]; ok {
 		panic(fmt.Sprintf("netsim: duplicate node %q", id))
 	}
-	node := &Node{ID: id, Pos: pos, Class: class, Up: true}
+	node := &Node{
+		ID: id, Pos: pos, Class: class, Up: true,
+		orderIdx: len(n.order),
+		infra:    class.Infrastructure,
+		gridPos:  pos,
+	}
 	n.nodes[id] = node
 	n.order = append(n.order, id)
+	if !node.infra {
+		// Grow the grid before inserting so the rebuild (which walks the
+		// existing node list) does not index this node twice.
+		if r := node.EffectiveRange(); r > n.grid.cellSize && !math.IsInf(r, 1) {
+			n.grid.grow(r, n.list)
+		}
+	}
+	n.list = append(n.list, node)
+	if node.infra {
+		n.infra = append(n.infra, node)
+	} else {
+		n.grid.insert(node)
+	}
+	n.bumpEpoch()
 	return node
+}
+
+// SetPos moves a node, keeping the spatial index and topology epoch in
+// step. Use this (or a MobilityModel) instead of writing Node.Pos directly.
+func (n *Network) SetPos(id string, pos Position) {
+	if node := n.nodes[id]; node != nil {
+		node.Pos = pos
+		n.nodeMoved(node)
+	}
+}
+
+// nodeMoved re-indexes node after a position change. Infrastructure nodes
+// are position-independent, so their moves do not advance the epoch.
+func (n *Network) nodeMoved(node *Node) {
+	if node.Pos == node.gridPos {
+		return
+	}
+	node.gridPos = node.Pos
+	if !node.infra {
+		n.grid.update(node)
+		n.bumpEpoch()
+	}
 }
 
 // Node returns the node with the given ID, or nil.
@@ -179,20 +266,29 @@ func (n *Network) SetHandler(id string, h Handler) {
 
 // SetUp marks a node up or down. Down nodes neither send nor receive.
 func (n *Network) SetUp(id string, up bool) {
-	if node := n.nodes[id]; node != nil {
+	if node := n.nodes[id]; node != nil && node.Up != up {
 		node.Up = up
+		n.bumpEpoch()
 	}
 }
 
 // CutLink administratively severs the link between a and b regardless of
 // range, until RestoreLink.
 func (n *Network) CutLink(a, b string) {
-	n.cuts[linkKey(a, b)] = true
+	k := linkKey(a, b)
+	if !n.cuts[k] {
+		n.cuts[k] = true
+		n.bumpEpoch()
+	}
 }
 
 // RestoreLink undoes CutLink.
 func (n *Network) RestoreLink(a, b string) {
-	delete(n.cuts, linkKey(a, b))
+	k := linkKey(a, b)
+	if n.cuts[k] {
+		delete(n.cuts, k)
+		n.bumpEpoch()
+	}
 }
 
 func linkKey(a, b string) [2]string {
@@ -206,20 +302,25 @@ func linkKey(a, b string) [2]string {
 // hop.
 func (n *Network) Connected(a, b string) bool {
 	na, nb := n.nodes[a], n.nodes[b]
-	if na == nil || nb == nil || !na.Up || !nb.Up || a == b {
+	if na == nil || nb == nil || a == b {
 		return false
 	}
-	if n.cuts[linkKey(a, b)] {
+	return n.connectedNodes(na, nb)
+}
+
+// connectedNodes is Connected on resolved nodes, skipping the map lookups
+// on the hot candidate-filtering path.
+func (n *Network) connectedNodes(na, nb *Node) bool {
+	if !na.Up || !nb.Up || na == nb {
 		return false
 	}
-	// Infrastructure nodes reach each other anywhere; ad-hoc pairs need
-	// mutual radio range.
-	if na.Class.Infrastructure && nb.Class.Infrastructure {
-		return true
+	if len(n.cuts) > 0 && n.cuts[linkKey(na.ID, nb.ID)] {
+		return false
 	}
-	if na.Class.Infrastructure != nb.Class.Infrastructure {
-		// A mixed pair (e.g. GPRS phone to LAN server) is connected through
-		// the carrier infrastructure.
+	// Infrastructure nodes reach every other up node anywhere — other
+	// infrastructure directly, ad-hoc devices through the carrier (e.g. a
+	// GPRS phone to a LAN server). Ad-hoc pairs need mutual radio range.
+	if na.Class.Infrastructure || nb.Class.Infrastructure {
 		return true
 	}
 	d := na.Pos.Dist(nb.Pos)
@@ -229,11 +330,84 @@ func (n *Network) Connected(a, b string) bool {
 // Neighbors returns the IDs of all nodes currently connected to id, in
 // insertion order.
 func (n *Network) Neighbors(id string) []string {
-	var out []string
-	for _, other := range n.order {
-		if other != id && n.Connected(id, other) {
-			out = append(out, other)
+	nbrs := n.neighborsOf(id)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := make([]string, len(nbrs))
+	copy(out, nbrs)
+	return out
+}
+
+// neighborsOf returns id's neighbor set in insertion order, serving it from
+// the node's cache while the topology epoch is unchanged. The returned
+// slice is the cache itself: callers must not mutate or retain it across
+// topology changes (Neighbors hands out a copy).
+func (n *Network) neighborsOf(id string) []string {
+	node := n.nodes[id]
+	if node == nil {
+		return nil
+	}
+	// Best-effort tolerance for a direct Pos write on the queried node:
+	// re-index before consulting the cache so the common move-then-query
+	// pattern stays correct. This is deliberately partial — a node moved
+	// by a direct write is invisible to queries about *other* nodes (it
+	// sits in the wrong grid cell and no epoch advanced), which is why
+	// Node.Pos is documented as read-only outside netsim: use SetPos.
+	if node.Pos != node.gridPos {
+		n.nodeMoved(node)
+	}
+	if node.nbrEpoch == n.epoch {
+		return node.nbrCache
+	}
+	node.nbrCache = n.computeNeighbors(node)
+	node.nbrEpoch = n.epoch
+	return node.nbrCache
+}
+
+// computeNeighbors gathers candidates from the infra set and the grid ring
+// around node, filters them through exact connectivity, and resolves the
+// result to insertion order.
+func (n *Network) computeNeighbors(node *Node) []string {
+	if !node.Up {
+		return nil
+	}
+	cand := n.scratch[:0]
+	if node.infra {
+		// An infrastructure node reaches every up node; candidates are all.
+		cand = append(cand, n.list...)
+	} else {
+		cand = append(cand, n.infra...)
+		r := node.EffectiveRange()
+		if math.IsInf(r, 1) || math.IsNaN(r) {
+			// Unbounded ad-hoc radio: no ring bounds the search.
+			for _, other := range n.list {
+				if !other.infra {
+					cand = append(cand, other)
+				}
+			}
+		} else {
+			cand = n.grid.appendWithin(node.gridPos, r, cand)
 		}
+	}
+	k := 0
+	for _, other := range cand {
+		if other != node && n.connectedNodes(node, other) {
+			cand[k] = other
+			k++
+		}
+	}
+	cand = cand[:k]
+	// Grid cells yield nodes in index order, not insertion order; resolve
+	// to insertion order so RNG draws and deliveries stay deterministic.
+	sort.Slice(cand, func(i, j int) bool { return cand[i].orderIdx < cand[j].orderIdx })
+	n.scratch = cand[:0] // retain the (possibly grown) buffer
+	if k == 0 {
+		return nil
+	}
+	out := make([]string, k)
+	for i, other := range cand {
+		out[i] = other.ID
 	}
 	return out
 }
@@ -244,7 +418,9 @@ func (n *Network) Reachable(a, b string) bool {
 }
 
 // Route returns a shortest hop path from a to b inclusive of both endpoints,
-// or nil if none exists. BFS over insertion order keeps it deterministic.
+// or nil if none exists. BFS over grid-backed adjacency, expanding each
+// node's neighbors in insertion order, keeps it deterministic and identical
+// to a BFS over the full node list.
 func (n *Network) Route(a, b string) []string {
 	if a == b {
 		return []string{a}
@@ -257,8 +433,78 @@ func (n *Network) Route(a, b string) []string {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
+		for _, next := range n.neighborsOf(cur) {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == b {
+				var path []string
+				for at := b; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == a {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// --- linear-scan oracles ---
+//
+// The pre-grid implementations, kept verbatim as correctness oracles: the
+// property tests in grid_test.go require the grid-backed queries to agree
+// with them exactly (same sets, same order) on randomized topologies, and
+// the benchmarks measure the grid against them.
+
+// connectedLinear is the original Connected.
+func (n *Network) connectedLinear(a, b string) bool {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil || !na.Up || !nb.Up || a == b {
+		return false
+	}
+	if n.cuts[linkKey(a, b)] {
+		return false
+	}
+	if na.Class.Infrastructure && nb.Class.Infrastructure {
+		return true
+	}
+	if na.Class.Infrastructure != nb.Class.Infrastructure {
+		return true
+	}
+	d := na.Pos.Dist(nb.Pos)
+	return d <= na.EffectiveRange() && d <= nb.EffectiveRange()
+}
+
+// neighborsLinear is the original full-scan Neighbors.
+func (n *Network) neighborsLinear(id string) []string {
+	var out []string
+	for _, other := range n.order {
+		if other != id && n.connectedLinear(id, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// routeLinear is the original BFS over the full node list.
+func (n *Network) routeLinear(a, b string) []string {
+	if a == b {
+		return []string{a}
+	}
+	if n.nodes[a] == nil || n.nodes[b] == nil {
+		return nil
+	}
+	prev := map[string]string{a: a}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
 		for _, next := range n.order {
-			if _, seen := prev[next]; seen || !n.Connected(cur, next) {
+			if _, seen := prev[next]; seen || !n.connectedLinear(cur, next) {
 				continue
 			}
 			prev[next] = cur
@@ -334,6 +580,15 @@ func (n *Network) Send(from, to string, payload []byte) error {
 // downlink bytes too). Serialisation runs at the bottleneck bandwidth of the
 // pair.
 func (n *Network) transmit(src, dst *Node, payload []byte) {
+	n.transmitShared(src, dst, payload, false)
+}
+
+// transmitShared is transmit with copy control: when shared is true,
+// payload is already a private immutable copy owned by the network and is
+// captured directly by the delivery event — Broadcast uses this to pay one
+// allocation per broadcast instead of one per receiver. Delivered payloads
+// are shared between receivers, so handlers must not mutate them.
+func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 	size := len(payload)
 	class := bottleneck(src.Class, dst.Class)
 	t := transferTime(class, size)
@@ -350,8 +605,11 @@ func (n *Network) transmit(src, dst *Node, payload []byte) {
 		}
 		return
 	}
-	data := make([]byte, size)
-	copy(data, payload)
+	data := payload
+	if !shared {
+		data = make([]byte, size)
+		copy(data, payload)
+	}
 	fromID, toID := src.ID, dst.ID
 	n.sim.Schedule(t, func() {
 		d := n.nodes[toID]
@@ -368,16 +626,22 @@ func (n *Network) transmit(src, dst *Node, payload []byte) {
 }
 
 // Broadcast transmits payload from a node to every current neighbor. It
-// returns the number of neighbors targeted. Each copy is charged and lost
-// independently.
+// returns the number of neighbors targeted. Each receiver is charged and
+// lost independently, but all receivers share one immutable payload copy,
+// so handlers must not mutate delivered payloads.
 func (n *Network) Broadcast(from string, payload []byte) int {
 	src := n.nodes[from]
 	if src == nil || !src.Up {
 		return 0
 	}
-	neighbors := n.Neighbors(from)
+	neighbors := n.neighborsOf(from)
+	if len(neighbors) == 0 {
+		return 0
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
 	for _, id := range neighbors {
-		n.transmit(src, n.nodes[id], payload)
+		n.transmitShared(src, n.nodes[id], data, true)
 	}
 	return len(neighbors)
 }
@@ -450,8 +714,8 @@ func (n *Network) forwardAlong(path []string, payload []byte) {
 // TotalUsage sums the usage of all nodes.
 func (n *Network) TotalUsage() Usage {
 	var total Usage
-	for _, id := range n.order {
-		total.Add(n.nodes[id].usage)
+	for _, node := range n.list {
+		total.Add(node.usage)
 	}
 	return total
 }
@@ -466,7 +730,7 @@ func (n *Network) UsageOf(id string) Usage {
 
 // ResetUsage zeroes all traffic accounts, e.g. after a warm-up phase.
 func (n *Network) ResetUsage() {
-	for _, id := range n.order {
-		n.nodes[id].usage = Usage{}
+	for _, node := range n.list {
+		node.usage = Usage{}
 	}
 }

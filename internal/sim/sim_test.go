@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -8,8 +9,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("All() has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("All() has %d experiments, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -267,6 +268,63 @@ func TestA2ShapeHolds(t *testing.T) {
 	}
 	if opt := cellF(t, tab, 2, 3); opt < 70 {
 		t.Errorf("cost decider optimal%% = %v, want near-oracle", opt)
+	}
+}
+
+func TestT11ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	res := runT11(1)
+	tab := res.Tables[0]
+	if tab.Rows() != 11 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	// The crowd must be a working ad-hoc fabric: a few radio neighbors per
+	// attendee, beacon gossip flowing, and stage ads covering at least the
+	// attendees that recently passed a stage.
+	if nbrs := cellF(t, tab, 0, 1); nbrs < 2 || nbrs > 30 {
+		t.Errorf("mean radio neighbors = %v, implausible crowd density", nbrs)
+	}
+	if cov := cellF(t, tab, 5, 1); cov <= 0.5 {
+		t.Errorf("festival/info coverage = %v%%, beacons not propagating", cov)
+	}
+	// Store-carry-forward couriers must actually cross their partitions:
+	// most of the spawned couriers deliver within the deadline, in more
+	// than one hop each. The denominator is couriers spawned, which can
+	// fall short of t11Couriers on seeds where a stage has no attendee in
+	// the source band.
+	var done, total int
+	if _, err := fmt.Sscanf(tab.Cell(7, 1), "%d/%d", &done, &total); err != nil {
+		t.Fatalf("couriers delivered cell %q: %v", tab.Cell(7, 1), err)
+	}
+	if total == 0 || total > t11Couriers || done*2 < total {
+		t.Errorf("couriers delivered %d/%d, want a majority of spawned", done, total)
+	}
+	var hops, fails int
+	if _, err := fmt.Sscanf(tab.Cell(6, 1), "%d / %d", &hops, &fails); err != nil {
+		t.Fatalf("courier hops cell %q: %v", tab.Cell(6, 1), err)
+	}
+	if hops < 2*done {
+		t.Errorf("courier hops = %d for %d deliveries; couriers did not roam", hops, done)
+	}
+}
+
+// TestT11Deterministic runs the 2000-node scenario twice on one seed and
+// requires byte-identical rendered output: the grid index, neighbor caches
+// and shared-payload broadcast must not perturb the RNG or delivery order.
+func TestT11Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	render := func() string {
+		var sb strings.Builder
+		runT11(3).Render(&sb)
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
 }
 

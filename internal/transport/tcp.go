@@ -185,12 +185,16 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	return nil
 }
 
-// Broadcast sends payload to every currently connected peer.
+// Broadcast sends payload to every currently connected peer. The peer set
+// is snapshotted once: sends can drop connections (and inbound connects can
+// add them) concurrently, so the returned count is the number of peers
+// actually targeted, not whatever the set holds afterwards.
 func (e *TCPEndpoint) Broadcast(payload []byte) int {
-	for _, peer := range e.Neighbors() {
+	peers := e.Neighbors()
+	for _, peer := range peers {
 		_ = e.Send(peer, payload) // best effort
 	}
-	return len(e.Neighbors())
+	return len(peers)
 }
 
 // Neighbors returns the addresses of currently connected peers.
