@@ -2,33 +2,71 @@
 //
 // Usage:
 //
-//	experiments                 run everything
-//	experiments -run T3,T4      run selected experiments
-//	experiments -seed 7         change the deterministic seed
-//	experiments -list           list experiments and their motivations
-//	experiments -csv out/       also write each table as CSV under out/
+//	experiments                    run everything
+//	experiments -run T3,T4         run selected experiments (IDs are
+//	                               case-insensitive: -run t11 works)
+//	experiments -seed 7            change the deterministic seed
+//	experiments -seeds 5           replicate each experiment over 5 seeds
+//	                               (seed..seed+4) and aggregate mean±stddev
+//	experiments -parallel 4        run replicates 4 at a time (one Sim per
+//	                               seed; per-seed output is identical to a
+//	                               serial run)
+//	experiments -sweep a=1,2,3     sweep parameter a over the given values
+//	                               (see -list for each experiment's
+//	                               parameters)
+//	experiments -json              machine-readable output
+//	experiments -list              list experiments and their motivations
+//	experiments -csv out/          also write each table as CSV under out/
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
+	"logmob/internal/metrics"
+	"logmob/internal/scenario"
 	"logmob/internal/sim"
 )
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	seed := flag.Int64("seed", 1, "deterministic base seed")
+	seeds := flag.Int("seeds", 1, "number of replicate seeds (seed..seed+N-1)")
+	parallel := flag.Int("parallel", 1, "replicates to run concurrently")
+	sweepFlag := flag.String("sweep", "", "parameter sweep, e.g. attendees=100,500,2000")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
 	flag.Parse()
 
+	if *seeds < 1 {
+		fatalf("-seeds must be >= 1")
+	}
+	if *parallel < 1 {
+		fatalf("-parallel must be >= 1")
+	}
+
 	if *list {
 		for _, e := range sim.All() {
 			fmt.Printf("%-4s %s\n     motivation: %s\n", e.ID, e.Title, e.Motivation)
+			if len(e.Params) > 0 {
+				names := make([]string, 0, len(e.Params))
+				for name := range e.Params {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				parts := make([]string, len(names))
+				for i, name := range names {
+					parts[i] = fmt.Sprintf("%s=%g", name, e.Params[name])
+				}
+				fmt.Printf("     parameters: %s\n", strings.Join(parts, " "))
+			}
 		}
 		return
 	}
@@ -41,38 +79,193 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := sim.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				fatalf("unknown experiment %q (use -list)", id)
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	for _, e := range selected {
-		fmt.Printf("running %s (%s) ...\n", e.ID, e.Title)
-		res := e.Run(*seed)
-		res.Render(os.Stdout)
-		if *csvDir != "" {
-			for i, t := range res.Tables {
-				name := fmt.Sprintf("%s_table%d.csv", strings.ToLower(e.ID), i+1)
-				f, err := os.Create(filepath.Join(*csvDir, name))
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					os.Exit(1)
-				}
-				t.RenderCSV(f)
-				if err := f.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					os.Exit(1)
-				}
+	sweepParam, sweepValues := parseSweep(*sweepFlag)
+	if sweepParam != "" {
+		for _, e := range selected {
+			if e.RunWith == nil {
+				fatalf("%s has no sweepable parameters", e.ID)
+			}
+			if _, ok := e.Params[sweepParam]; !ok {
+				fatalf("%s has no parameter %q (use -list)", e.ID, sweepParam)
 			}
 		}
 	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	runner := scenario.Runner{Seeds: scenario.Seeds(*seed, *seeds), Parallel: *parallel}
+	var report []*jsonExperiment
+	for _, e := range selected {
+		points := []float64{0}
+		if sweepParam != "" {
+			points = sweepValues
+		}
+		for _, v := range points {
+			fn := e.Run
+			label := ""
+			if sweepParam != "" {
+				v := v
+				fn = func(s int64) *sim.Result {
+					return e.RunWith(s, map[string]float64{sweepParam: v})
+				}
+				label = fmt.Sprintf("%s=%g", sweepParam, v)
+			}
+			if !*jsonOut {
+				if label != "" {
+					fmt.Printf("running %s (%s) [%s] ...\n", e.ID, e.Title, label)
+				} else {
+					fmt.Printf("running %s (%s) ...\n", e.ID, e.Title)
+				}
+			}
+			multi := runner.Run(fn)
+			if *jsonOut {
+				report = append(report, jsonify(e, label, multi))
+			} else {
+				render(multi, os.Stdout)
+			}
+			writeCSV(*csvDir, e.ID, label, multi)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseSweep parses "param=v1,v2,v3" into its parts.
+func parseSweep(s string) (string, []float64) {
+	if s == "" {
+		return "", nil
+	}
+	name, list, ok := strings.Cut(s, "=")
+	if !ok || name == "" || list == "" {
+		fatalf("bad -sweep %q, want param=v1,v2,...", s)
+	}
+	var values []float64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatalf("bad -sweep value %q: %v", part, err)
+		}
+		values = append(values, v)
+	}
+	return strings.TrimSpace(name), values
+}
+
+// render writes a replicated run: each seed's full result, then (for
+// multi-seed runs) the aggregate tables.
+func render(m *scenario.MultiResult, w *os.File) {
+	for _, rep := range m.Replicates {
+		if len(m.Replicates) > 1 {
+			fmt.Fprintf(w, "--- seed %d ---\n", rep.Seed)
+		}
+		rep.Result.Render(w)
+	}
+	if m.Aggregate != nil {
+		fmt.Fprintf(w, "--- aggregate over %d seeds ---\n", len(m.Replicates))
+		m.Aggregate.Render(w)
+	}
+}
+
+// writeCSV writes each table (the aggregate's for multi-seed runs) as CSV.
+func writeCSV(dir, id, label string, m *scenario.MultiResult) {
+	if dir == "" || len(m.Replicates) == 0 {
+		return
+	}
+	res := m.Replicates[0].Result
+	if m.Aggregate != nil {
+		res = m.Aggregate
+	}
+	suffix := ""
+	if label != "" {
+		suffix = "_" + strings.ReplaceAll(strings.ReplaceAll(label, "=", "_"), ",", "_")
+	}
+	for i, t := range res.Tables {
+		name := fmt.Sprintf("%s%s_table%d.csv", strings.ToLower(id), suffix, i+1)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		t.RenderCSV(f)
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// JSON report shapes.
+type jsonExperiment struct {
+	ID         string          `json:"id"`
+	Title      string          `json:"title"`
+	Sweep      string          `json:"sweep,omitempty"`
+	Seeds      []int64         `json:"seeds"`
+	Replicates []*jsonResult   `json:"replicates"`
+	Aggregate  *jsonResultBody `json:"aggregate,omitempty"`
+}
+
+type jsonResult struct {
+	Seed int64 `json:"seed"`
+	jsonResultBody
+}
+
+type jsonResultBody struct {
+	Tables []*jsonTable `json:"tables"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func jsonifyTables(tables []*metrics.Table) []*jsonTable {
+	out := make([]*jsonTable, len(tables))
+	for i, t := range tables {
+		jt := &jsonTable{Title: t.Title, Headers: t.Headers()}
+		for r := 0; r < t.Rows(); r++ {
+			jt.Rows = append(jt.Rows, t.Row(r))
+		}
+		out[i] = jt
+	}
+	return out
+}
+
+func jsonify(e sim.Experiment, label string, m *scenario.MultiResult) *jsonExperiment {
+	je := &jsonExperiment{ID: e.ID, Title: e.Title, Sweep: label}
+	for _, rep := range m.Replicates {
+		je.Seeds = append(je.Seeds, rep.Seed)
+		je.Replicates = append(je.Replicates, &jsonResult{
+			Seed: rep.Seed,
+			jsonResultBody: jsonResultBody{
+				Tables: jsonifyTables(rep.Result.Tables),
+				Notes:  rep.Result.Notes,
+			},
+		})
+	}
+	if m.Aggregate != nil {
+		je.Aggregate = &jsonResultBody{
+			Tables: jsonifyTables(m.Aggregate.Tables),
+			Notes:  m.Aggregate.Notes,
+		}
+	}
+	return je
 }

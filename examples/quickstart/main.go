@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"logmob"
-	"logmob/internal/agent"
 )
 
 func main() {
@@ -100,8 +99,8 @@ func main() {
 			Name: "courier", Version: "1.0",
 			Kind: logmob.KindAgent, Publisher: "publisher",
 		},
-		Code: agent.CourierProgram.Encode(),
-		Data: agent.NewCourierData("server", "sms", []byte("meet at 8")),
+		Code: logmob.CourierProgram.Encode(),
+		Data: logmob.NewCourierData("server", "sms", []byte("meet at 8")),
 	}
 	publisher.SignCode(courier) // code-only: the agent's state mutates en route
 	if _, err := devPlat.SpawnUnit(courier, "main"); err != nil {

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// numToken matches the numeric fields inside a rendered cell, so composite
+// cells like "7/8" or "173 / 0" aggregate field-wise.
+var numToken = regexp.MustCompile(`-?\d+(?:\.\d+)?`)
+
+// AggregateTables combines replicate tables of identical shape into one
+// table: every numeric field becomes "mean±stddev" across the replicates
+// (or stays verbatim when all replicates agree), and non-numeric text must
+// agree. Population stddev is used — the replicates are the whole set, not
+// a sample of a larger one.
+func AggregateTables(tables []*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("metrics: no tables to aggregate")
+	}
+	first := tables[0]
+	for _, t := range tables[1:] {
+		if len(t.headers) != len(first.headers) || len(t.rows) != len(first.rows) {
+			return nil, fmt.Errorf("metrics: table shape mismatch: %dx%d vs %dx%d",
+				len(t.rows), len(t.headers), len(first.rows), len(first.headers))
+		}
+	}
+	out := NewTable(first.Title, first.headers...)
+	for ri := range first.rows {
+		row := make([]string, len(first.rows[ri]))
+		for ci := range first.rows[ri] {
+			cells := make([]string, len(tables))
+			for i, t := range tables {
+				cells[i] = t.Cell(ri, ci)
+			}
+			row[ci] = aggregateCell(cells)
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// aggregateCell combines one cell position across replicates. Cells whose
+// non-numeric skeletons disagree collapse to "~" — they carry per-seed text
+// that has no meaningful mean.
+func aggregateCell(cells []string) string {
+	allEqual := true
+	for _, c := range cells[1:] {
+		if c != cells[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return cells[0]
+	}
+	skeleton := numToken.ReplaceAllString(cells[0], "\x00")
+	values := make([][]float64, len(cells))
+	for i, c := range cells {
+		if numToken.ReplaceAllString(c, "\x00") != skeleton {
+			return "~"
+		}
+		for _, m := range numToken.FindAllString(c, -1) {
+			v, err := strconv.ParseFloat(m, 64)
+			if err != nil {
+				return "~"
+			}
+			values[i] = append(values[i], v)
+		}
+	}
+	// Substitute each numeric field with its mean±stddev across replicates.
+	field := 0
+	return numToken.ReplaceAllStringFunc(cells[0], func(string) string {
+		mean, std := 0.0, 0.0
+		for _, vs := range values {
+			mean += vs[field]
+		}
+		mean /= float64(len(values))
+		for _, vs := range values {
+			d := vs[field] - mean
+			std += d * d
+		}
+		std = math.Sqrt(std / float64(len(values)))
+		field++
+		if std == 0 {
+			return formatAgg(mean)
+		}
+		return fmt.Sprintf("%s±%s", formatAgg(mean), formatAgg(std))
+	})
+}
+
+// formatAgg renders an aggregated value compactly without losing the scale.
+func formatAgg(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 0.01:
+		return strings.TrimRight(strings.TrimRight(strconv.FormatFloat(v, 'f', 3, 64), "0"), ".")
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Row returns a copy of the formatted cells of one data row, or nil if out
+// of range.
+func (t *Table) Row(i int) []string {
+	if i < 0 || i >= len(t.rows) {
+		return nil
+	}
+	out := make([]string, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out
+}

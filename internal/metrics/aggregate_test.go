@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func repTable(cells ...string) *Table {
+	t := NewTable("title", "metric", "value")
+	for i := 0; i < len(cells); i += 2 {
+		t.AddRow(cells[i], cells[i+1])
+	}
+	return t
+}
+
+func TestAggregateTablesMeanStddev(t *testing.T) {
+	a := repTable("lat", "10", "label", "same")
+	b := repTable("lat", "14", "label", "same")
+	agg, err := AggregateTables([]*Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Cell(0, 1); got != "12±2" {
+		t.Errorf("mean±stddev cell = %q, want 12±2", got)
+	}
+	if got := agg.Cell(1, 1); got != "same" {
+		t.Errorf("identical text cell = %q, want verbatim", got)
+	}
+	if got := agg.Cell(0, 0); got != "lat" {
+		t.Errorf("label cell = %q", got)
+	}
+}
+
+func TestAggregateTablesCompositeCells(t *testing.T) {
+	// Composite "delivered/spawned" and "hops / fails" cells aggregate
+	// field-wise, keeping the non-numeric skeleton.
+	a := repTable("delivered", "7/8", "hops", "100 / 0")
+	b := repTable("delivered", "5/8", "hops", "140 / 0")
+	agg, err := AggregateTables([]*Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Cell(0, 1); got != "6±1/8" {
+		t.Errorf("composite cell = %q, want 6±1/8", got)
+	}
+	if got := agg.Cell(1, 1); got != "120±20 / 0" {
+		t.Errorf("composite cell = %q, want 120±20 / 0", got)
+	}
+}
+
+func TestAggregateTablesTextMismatch(t *testing.T) {
+	a := repTable("x", "fast")
+	b := repTable("x", "slow")
+	agg, err := AggregateTables([]*Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Cell(0, 1); got != "~" {
+		t.Errorf("mismatched text cell = %q, want ~", got)
+	}
+}
+
+func TestAggregateTablesShapeMismatch(t *testing.T) {
+	a := repTable("x", "1")
+	b := repTable("x", "1", "y", "2")
+	if _, err := AggregateTables([]*Table{a, b}); err == nil {
+		t.Fatal("shape mismatch not reported")
+	}
+	if _, err := AggregateTables(nil); err == nil {
+		t.Fatal("empty input not reported")
+	}
+}
+
+func TestAggregateTablesSingle(t *testing.T) {
+	a := repTable("x", "3.14")
+	agg, err := AggregateTables([]*Table{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Cell(0, 1); got != "3.14" {
+		t.Errorf("single replicate cell = %q, want verbatim", got)
+	}
+}
+
+func TestHeadersAndRowAccessors(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(1, 2)
+	h := tab.Headers()
+	if strings.Join(h, ",") != "a,b" {
+		t.Errorf("Headers = %v", h)
+	}
+	h[0] = "mutated"
+	if tab.Headers()[0] != "a" {
+		t.Error("Headers exposes internal slice")
+	}
+	if r := tab.Row(0); strings.Join(r, ",") != "1,2" {
+		t.Errorf("Row(0) = %v", r)
+	}
+	if tab.Row(1) != nil || tab.Row(-1) != nil {
+		t.Error("out-of-range Row should be nil")
+	}
+}
+
+func TestSeriesPercentileSorted(t *testing.T) {
+	var s Series
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		s.Observe(v)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	// Percentile must not reorder the underlying observations.
+	if s.vals[0] != 5 {
+		t.Error("Percentile mutated the series")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -90,7 +91,7 @@ func (s *Series) Percentile(p float64) float64 {
 	}
 	sorted := make([]float64, len(s.vals))
 	copy(sorted, s.vals)
-	insertionSortFloats(sorted)
+	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -119,14 +120,6 @@ func (s *Series) Stddev() float64 {
 		sum += d * d
 	}
 	return math.Sqrt(sum / float64(len(s.vals)))
-}
-
-func insertionSortFloats(v []float64) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
 }
 
 // Table accumulates rows and renders them as an aligned text table or CSV.

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"fmt"
+
+	"logmob/internal/agent"
+	"logmob/internal/lmu"
+	"logmob/internal/metrics"
+	"logmob/internal/vm"
+)
+
+// The built-in workloads cover the four mobile-code paradigms:
+//
+//   - Calls      — Client/Server request/reply rounds
+//   - EvalOnce   — Remote Evaluation: ship code once, collect the result
+//   - FetchRun   — Code On Demand: fetch a component once, run it locally
+//   - SpawnAgent — Mobile Agents: launch one agent
+//   - Couriers   — Mobile Agents at crowd scale: store-carry-forward fleet
+//
+// Func is the escape hatch for bespoke activity.
+
+// Func adapts a function to a Workload.
+type Func func(w *World)
+
+// Start implements Workload.
+func (f Func) Start(w *World) { f(w) }
+
+// UnitFunc builds a signed Logical Mobility Unit against the compiled world
+// (typically using w.ID to sign).
+type UnitFunc func(w *World) *lmu.Unit
+
+// Calls is the Client/Server workload: Rounds sequential request/reply
+// exchanges from Client to a service registered on Server. Each reply
+// triggers the next request, as an interactive session would.
+type Calls struct {
+	Client, Server string
+	// Service names the server-side service; it is registered by the
+	// workload and echoes ReplyBytes per request.
+	Service    string
+	ReqBytes   int
+	ReplyBytes int
+	Rounds     int64
+}
+
+// Start implements Workload.
+func (c Calls) Start(w *World) {
+	reply := make([]byte, c.ReplyBytes)
+	w.Hosts[c.Server].RegisterService(c.Service, func(string, [][]byte) ([][]byte, error) {
+		return [][]byte{reply}, nil
+	})
+	req := make([]byte, c.ReqBytes)
+	device := w.Hosts[c.Client]
+	remaining := c.Rounds
+	var call func()
+	call = func() {
+		device.Call(c.Server, c.Service, [][]byte{req}, func([][]byte, error) {
+			remaining--
+			if remaining > 0 {
+				call()
+			}
+		})
+	}
+	call()
+}
+
+// EvalOnce is the Remote Evaluation workload: Client ships the unit to
+// Server for execution and collects the result stack.
+type EvalOnce struct {
+	Client, Server string
+	Unit           UnitFunc
+	Entry          string
+	Args           []int64
+	// OnResult, if set, observes the result.
+	OnResult func(stack []int64, err error)
+}
+
+// Start implements Workload.
+func (e EvalOnce) Start(w *World) {
+	u := e.Unit(w)
+	w.Hosts[e.Client].Eval(e.Server, u, e.Entry, e.Args, func(stack []int64, err error) {
+		if e.OnResult != nil {
+			e.OnResult(stack, err)
+		}
+	})
+}
+
+// FetchRun is the Code On Demand workload: the unit is published on Server,
+// Client fetches it once and runs its entry Runs times locally.
+type FetchRun struct {
+	Client, Server string
+	Unit           UnitFunc
+	Entry          string
+	Runs           int64
+	Args           []int64
+}
+
+// Start implements Workload.
+func (f FetchRun) Start(w *World) {
+	unit := f.Unit(w)
+	if err := w.Hosts[f.Server].Publish(unit); err != nil {
+		panic(err)
+	}
+	client := w.Hosts[f.Client]
+	client.Fetch(f.Server, unit.Manifest.Name, "", func(u *lmu.Unit, err error) {
+		if err == nil {
+			for i := int64(0); i < f.Runs; i++ {
+				_, _ = client.RunComponent(unit.Manifest.Name, f.Entry, f.Args...)
+			}
+		}
+	})
+}
+
+// SpawnAgent is the Mobile Agent workload: launch one agent on Host's
+// platform, either from a raw program + data space or from a pre-built unit.
+type SpawnAgent struct {
+	Host string
+	// Name and Program + Data spawn a locally-built agent …
+	Name    string
+	Program *vm.Program
+	Data    map[string][]byte
+	// … or Unit spawns a pre-signed unit.
+	Unit  UnitFunc
+	Entry string
+}
+
+// Start implements Workload.
+func (s SpawnAgent) Start(w *World) {
+	p := w.Platforms[s.Host]
+	if p == nil {
+		panic(fmt.Sprintf("scenario: SpawnAgent on %q, which has no agent platform", s.Host))
+	}
+	var err error
+	if s.Unit != nil {
+		_, err = p.SpawnUnit(s.Unit(w), s.Entry)
+	} else {
+		_, err = p.Spawn(s.Name, s.Program, s.Data, s.Entry)
+	}
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Couriers is the crowd-scale Mobile Agent workload: Count store-carry-
+// forward couriers, each spawned on a member of SourcePop currently between
+// SrcMin and SrcMax metres from its target (targets rotate through
+// TargetPop), carrying PayloadBytes to deliver under its topic. First
+// deliveries are recorded per topic; agent transfer is at-least-once, so a
+// courier can occasionally arrive twice.
+type Couriers struct {
+	Count     int
+	TargetPop string
+	SourcePop string
+	// SrcMin/SrcMax bound the spawn distance from the target (metres); a
+	// courier is skipped when no unused source is in the band.
+	SrcMin, SrcMax float64
+	PayloadBytes   int
+	// NamePrefix and TopicPrefix name courier c NamePrefix+c with topic
+	// TopicPrefix+c.
+	NamePrefix  string
+	TopicPrefix string
+	// Program is the courier bytecode; nil uses GreedyCourierProgram, which
+	// requires the population's platforms to carry GreedyGeoCaps.
+	Program *vm.Program
+
+	// Stats is filled in while the scenario runs; point Delivery probes at
+	// the same Couriers value (fields are only read after the run).
+	Stats CourierStats
+}
+
+// CourierStats records courier outcomes for probes.
+type CourierStats struct {
+	// Spawned counts couriers actually launched (a target can lack an
+	// in-band source on some seeds).
+	Spawned int
+	// SpawnStart is the virtual time the fleet launched, in seconds.
+	SpawnStart float64
+	// DeliveredBy marks topics delivered at least once.
+	DeliveredBy map[string]bool
+	// Delivered observes first-delivery times, in seconds of virtual time.
+	Delivered metrics.Series
+}
+
+// Start implements Workload.
+func (c *Couriers) Start(w *World) {
+	c.Stats.DeliveredBy = make(map[string]bool)
+	targets := w.Pops[c.TargetPop]
+	sources := w.Pops[c.SourcePop]
+	if len(targets) == 0 {
+		panic(fmt.Sprintf("scenario: Couriers target population %q is empty or unknown", c.TargetPop))
+	}
+	if len(sources) == 0 {
+		panic(fmt.Sprintf("scenario: Couriers source population %q is empty or unknown", c.SourcePop))
+	}
+	for _, name := range targets {
+		w.Hosts[name].OnMessage(func(_, topic string, _ []byte) {
+			if !c.Stats.DeliveredBy[topic] {
+				c.Stats.DeliveredBy[topic] = true
+				c.Stats.Delivered.Observe(w.Sim.Now().Seconds())
+			}
+		})
+	}
+	c.Stats.SpawnStart = w.Sim.Now().Seconds()
+	prog := c.Program
+	if prog == nil {
+		prog = GreedyCourierProgram
+	}
+	used := make(map[string]bool)
+	for i := 0; i < c.Count; i++ {
+		target := targets[i%len(targets)]
+		targetPos := w.Net.Node(target).Pos
+		src := ""
+		for _, name := range sources {
+			if used[name] {
+				continue
+			}
+			d := w.Net.Node(name).Pos.Dist(targetPos)
+			if d >= c.SrcMin && d < c.SrcMax {
+				src = name
+				break
+			}
+		}
+		if src == "" {
+			continue // no source currently in the band; skip this courier
+		}
+		used[src] = true
+		_, err := w.Platforms[src].Spawn(fmt.Sprintf("%s%d", c.NamePrefix, i), prog,
+			agent.NewCourierData(target, fmt.Sprintf("%s%d", c.TopicPrefix, i),
+				make([]byte, c.PayloadBytes)), "main")
+		if err != nil {
+			panic(err)
+		}
+		c.Stats.Spawned++
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"logmob/internal/discovery"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 	"logmob/internal/transport"
 	"logmob/internal/update"
 )
@@ -55,42 +56,42 @@ func runA3(seed int64) *Result {
 }
 
 func runA3Config(seed int64, interval time.Duration) (meanS, maxS float64, beaconBytes int64) {
-	w := newWorld(seed)
+	w := scenario.NewWorld(seed)
 	class := netsim.WLAN
 	class.Range = 1000 // one shared cell
 
-	repo := w.addHost("repo", netsim.Position{}, class, nil)
-	repoBeacon := discovery.NewBeacon(repo.Mux().Channel(transport.ChanBeacon), w.sim, interval)
+	repo := w.AddHost("repo", netsim.Position{}, class, nil)
+	repoBeacon := discovery.NewBeacon(repo.Mux().Channel(transport.ChanBeacon), w.Sim, interval)
 	repoBeacon.Start()
 
-	old := app.BuildCodec(w.id, "ogg", "1.0", 2048)
+	old := app.BuildCodec(w.ID, "ogg", "1.0", 2048)
 	updated := make([]time.Duration, 0, a3Devices)
 	publishAt := 30 * time.Second
 
 	for i := 0; i < a3Devices; i++ {
 		name := fmt.Sprintf("dev%d", i)
-		dev := w.addHost(name, netsim.Position{X: float64(10 + i)}, class, nil)
+		dev := w.AddHost(name, netsim.Position{X: float64(10 + i)}, class, nil)
 		if err := dev.Registry().Put(old); err != nil {
 			panic(err)
 		}
-		b := discovery.NewBeacon(dev.Mux().Channel(transport.ChanBeacon), w.sim, interval)
+		b := discovery.NewBeacon(dev.Mux().Channel(transport.ChanBeacon), w.Sim, interval)
 		b.Start()
-		up := update.New(dev, b, w.sim, a3CheckSec*time.Second)
+		up := update.New(dev, b, w.Sim, a3CheckSec*time.Second)
 		up.OnUpdate = func(name, provider, oldV, newV string) {
-			updated = append(updated, w.sim.Now()-publishAt)
+			updated = append(updated, w.Sim.Now()-publishAt)
 		}
 		up.Start()
 	}
 
 	// The upgrade appears at t=30s.
-	w.sim.Schedule(publishAt, func() {
-		v11 := app.BuildCodec(w.id, "ogg", "1.1", 2048)
+	w.Sim.Schedule(publishAt, func() {
+		v11 := app.BuildCodec(w.ID, "ogg", "1.1", 2048)
 		if err := repo.Publish(v11); err != nil {
 			panic(err)
 		}
 		update.AdvertiseComponents(repo, update.ViaBeacon(repoBeacon), 3*interval)
 	})
-	w.sim.RunFor(10 * time.Minute)
+	w.Sim.RunFor(10 * time.Minute)
 
 	var lat metrics.Series
 	for _, d := range updated {
@@ -98,6 +99,6 @@ func runA3Config(seed int64, interval time.Duration) (meanS, maxS float64, beaco
 	}
 	// Beacon traffic: everything the repo sent (its beacons dominate; device
 	// beacons are empty and not transmitted).
-	u := w.deviceUsage("repo")
+	u := w.Usage("repo")
 	return lat.Mean(), lat.Max(), u.BytesSent
 }

@@ -12,6 +12,7 @@ import (
 	"logmob/internal/netsim"
 	"logmob/internal/policy"
 	"logmob/internal/registry"
+	"logmob/internal/scenario"
 )
 
 // A1 ablates the registry's eviction policy on the codec workload: which
@@ -40,12 +41,12 @@ func runA1(seed int64) *Result {
 		"policy", "hit %", "link B", "evictions")
 
 	for _, pol := range []registry.EvictionPolicy{registry.LRU{}, registry.LFU{}, registry.SizeGreedy{}} {
-		w := newWorld(seed)
-		units := app.CodecCatalogue(w.id, t2Formats, t2TableSize)
+		w := scenario.NewWorld(seed)
+		units := app.CodecCatalogue(w.ID, t2Formats, t2TableSize)
 		quota := int64(a1Quota) * int64(units[0].Size())
-		repo := w.addHost("repo", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
-			c.Registry = registry.New(quota, registry.WithClock(w.sim.Now), registry.WithPolicy(pol))
+		repo := w.AddHost("repo", netsim.Position{}, netsim.LAN, nil)
+		device := w.AddHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
+			c.Registry = registry.New(quota, registry.WithClock(w.Sim.Now), registry.WithPolicy(pol))
 		})
 		for _, u := range units {
 			if err := repo.Publish(u); err != nil {
@@ -64,8 +65,8 @@ func runA1(seed int64) *Result {
 			})
 		}
 		play(0)
-		w.sim.RunFor(8 * time.Hour)
-		u := w.deviceUsage("device")
+		w.Sim.RunFor(8 * time.Hour)
+		u := w.Usage("device")
 		stats := device.Registry().Stats()
 		hitPct := 100 * float64(player.Hits) / float64(player.Plays)
 		table.AddRow(pol.Name(), fmt.Sprintf("%.1f", hitPct),

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite golden files from the current implementation")
+
+// TestPortedExperimentGoldens pins the default-seed rendered output of the
+// experiments ported onto the declarative scenario API. The goldens were
+// generated from the pre-port hand-wired implementations; the ported specs
+// must reproduce them byte-identically.
+func TestPortedExperimentGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	cases := []struct {
+		id  string
+		run func(seed int64) *Result
+	}{
+		{"T1", runT1},
+		{"T5", runT5},
+		{"T11", runT11},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			tc.run(1).Render(&sb)
+			got := sb.String()
+			path := filepath.Join("testdata", strings.ToLower(tc.id)+"_seed1.golden")
+			if *updateGoldens {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to generate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s seed-1 output differs from pre-port golden\n--- got ---\n%s\n--- want ---\n%s",
+					tc.id, got, want)
+			}
+		})
+	}
+}

@@ -6,44 +6,20 @@
 // evaluation, so each experiment here is derived from (and annotated with)
 // the paper passage whose argument it checks. Experiments are deterministic
 // given their seed.
+//
+// Worlds are built with the declarative scenario package: an experiment
+// either compiles a scenario.Spec (see T11) or assembles a scenario.World
+// imperatively where its measurement needs bespoke wiring.
 package sim
 
 import (
-	"fmt"
-	"io"
+	"strings"
 
-	"logmob/internal/core"
-	"logmob/internal/metrics"
-	"logmob/internal/netsim"
-	"logmob/internal/security"
-	"logmob/internal/transport"
+	"logmob/internal/scenario"
 )
 
 // Result is the output of one experiment run.
-type Result struct {
-	ID     string
-	Title  string
-	Tables []*metrics.Table
-	Charts []*metrics.Chart
-	Notes  []string
-}
-
-// Render writes the complete result.
-func (r *Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "=== %s: %s ===\n\n", r.ID, r.Title)
-	for _, t := range r.Tables {
-		t.Render(w)
-		fmt.Fprintln(w)
-	}
-	for _, c := range r.Charts {
-		c.Render(w, 64, 16)
-		fmt.Fprintln(w)
-	}
-	for _, n := range r.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
-	}
-	fmt.Fprintln(w)
-}
+type Result = scenario.Result
 
 // Experiment is one named, reproducible experiment.
 type Experiment struct {
@@ -51,6 +27,36 @@ type Experiment struct {
 	Title      string
 	Motivation string // the paper passage this experiment checks
 	Run        func(seed int64) *Result
+	// Params lists the experiment's sweepable parameters and their
+	// defaults; nil when the experiment exposes none.
+	Params map[string]float64
+	// RunWith runs with named parameter overrides (missing keys take the
+	// defaults); nil when the experiment exposes no parameters.
+	RunWith func(seed int64, params map[string]float64) *Result
+}
+
+// FromSpec builds an Experiment whose runs compile and execute the scenario
+// Spec that build returns for the (default-filled) parameter set.
+func FromSpec(id, title, motivation string, defaults map[string]float64,
+	build func(params map[string]float64) *scenario.Spec, notes ...string) Experiment {
+	runWith := func(seed int64, params map[string]float64) *Result {
+		merged := make(map[string]float64, len(defaults))
+		for k, v := range defaults {
+			merged[k] = v
+		}
+		for k, v := range params {
+			merged[k] = v
+		}
+		res := build(merged).RunResult(id, seed)
+		res.Notes = append(res.Notes, notes...)
+		return res
+	}
+	return Experiment{
+		ID: id, Title: title, Motivation: motivation,
+		Run:     func(seed int64) *Result { return runWith(seed, nil) },
+		Params:  defaults,
+		RunWith: runWith,
+	}
 }
 
 // All returns every experiment in presentation order.
@@ -60,67 +66,13 @@ func All() []Experiment {
 	}
 }
 
-// ByID looks an experiment up by its ID (case-sensitive, e.g. "T3").
+// ByID looks an experiment up by its ID, case-insensitively ("t11" finds
+// T11); printed IDs stay canonical.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
-		if e.ID == id {
+		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}
 	}
 	return Experiment{}, false
-}
-
-// world bundles the simulated environment experiments build on.
-type world struct {
-	sim   *netsim.Sim
-	net   *netsim.Network
-	sn    *transport.SimNetwork
-	id    *security.Identity
-	trust *security.TrustStore
-	hosts map[string]*core.Host
-}
-
-func newWorld(seed int64) *world {
-	s := netsim.NewSim(seed)
-	n := netsim.NewNetwork(s)
-	id := security.MustNewIdentity("publisher")
-	trust := security.NewTrustStore()
-	trust.TrustIdentity(id)
-	return &world{
-		sim:   s,
-		net:   n,
-		sn:    transport.NewSimNetwork(n),
-		id:    id,
-		trust: trust,
-		hosts: make(map[string]*core.Host),
-	}
-}
-
-// addHost creates a kernel host on a new node. Loss is disabled unless the
-// experiment re-enables it; experiments about loss set it explicitly.
-func (w *world) addHost(name string, pos netsim.Position, class netsim.LinkClass, mutate func(*core.Config)) *core.Host {
-	class.Loss = 0
-	w.net.AddNode(name, pos, class)
-	ep, err := w.sn.Endpoint(name)
-	if err != nil {
-		panic(err) // nodes are added by the experiment itself; a clash is a bug
-	}
-	cfg := core.Config{
-		Name: name, Endpoint: ep, Scheduler: w.sim,
-		Trust: w.trust, ServeEval: true,
-	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	h, err := core.NewHost(cfg)
-	if err != nil {
-		panic(err)
-	}
-	w.hosts[name] = h
-	return h
-}
-
-// deviceUsage is shorthand for the device-side traffic account.
-func (w *world) deviceUsage(name string) netsim.Usage {
-	return w.net.UsageOf(name)
 }

@@ -10,6 +10,7 @@ import (
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
 	"logmob/internal/policy"
+	"logmob/internal/scenario"
 	"logmob/internal/security"
 	"logmob/internal/vm"
 )
@@ -32,6 +33,8 @@ done:
 	halt
 `
 
+var t1AgentProgram = vm.MustAssemble(t1AgentSource)
+
 // T1 measures the four-paradigm traffic model: analytic predictions next to
 // traffic actually metered on the simulated device link, across interaction
 // counts N. The shape to reproduce: CS wins for small N; the mobile-code
@@ -53,6 +56,7 @@ const (
 	t1Reply  = 1000
 	t1State  = 600
 	t1Result = 100
+	t1Code   = 3000
 )
 
 func runT1(seed int64) *Result {
@@ -61,7 +65,7 @@ func runT1(seed int64) *Result {
 	// The component shipped by COD/REV; its real packed size feeds the model
 	// so model and measurement describe the same artifact.
 	id := security.MustNewIdentity("publisher")
-	codeUnit := app.BuildCodec(id, "t1", "1.0", 3000)
+	codeUnit := app.BuildCodec(id, "t1", "1.0", t1Code)
 	task := policy.Task{
 		ReqBytes:    t1Req,
 		ReplyBytes:  t1Reply,
@@ -109,95 +113,81 @@ func runT1(seed int64) *Result {
 	return res
 }
 
+// t1Spec declares a minimal two-node world — a LAN server and a GPRS
+// device — running one paradigm's workload for the given duration.
+func t1Spec(agents bool, duration time.Duration, workload scenario.Workload) *scenario.Spec {
+	return &scenario.Spec{
+		Name: "Paradigm traffic",
+		Populations: []scenario.Population{
+			{Name: "server", Link: netsim.LAN, Agents: agents},
+			{Name: "device", Link: netsim.GPRS, Agents: agents},
+		},
+		Duration:  duration,
+		Workloads: []scenario.Workload{workload},
+	}
+}
+
 // measureT1 runs each paradigm for n interactions on a fresh simulated
 // GPRS device against a LAN server, returning device-link bytes moved.
+// Each paradigm is one declarative spec built on the matching built-in
+// workload.
 func measureT1(seed, n int64) map[policy.Paradigm]int64 {
 	out := make(map[policy.Paradigm]int64, 4)
 
-	deviceBytes := func(w *world) int64 {
-		u := w.deviceUsage("device")
+	deviceBytes := func(w *scenario.World) int64 {
+		u := w.Usage("device")
 		return u.BytesSent + u.BytesRecv
 	}
 
-	// --- CS: n request/reply rounds.
-	{
-		w := newWorld(seed)
-		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
-		reply := make([]byte, t1Reply)
-		server.RegisterService("work", func(string, [][]byte) ([][]byte, error) {
-			return [][]byte{reply}, nil
-		})
-		req := make([]byte, t1Req)
-		remaining := n
-		var call func()
-		call = func() {
-			device.Call("server", "work", [][]byte{req}, func([][]byte, error) {
-				remaining--
-				if remaining > 0 {
-					call()
-				}
-			})
-		}
-		call()
-		w.sim.RunFor(time.Duration(n) * 30 * time.Second)
-		out[policy.CS] = deviceBytes(w)
+	// The component REV ships / COD fetches, built against each world's
+	// publisher so it verifies there.
+	codec := func(w *scenario.World) *lmu.Unit {
+		return app.BuildCodec(w.ID, "t1", "1.0", t1Code)
 	}
 
-	// --- REV: ship the code once, get the result.
-	{
-		w := newWorld(seed)
-		w.addHost("server", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
-		job := app.BuildCodec(w.id, "t1", "1.0", 3000)
-		job.Manifest.Kind = lmu.KindRequest
-		w.id.Sign(job)
-		device.Eval("server", job, "decode", []int64{n * 8}, func([]int64, error) {})
-		w.sim.RunFor(10 * time.Minute)
-		out[policy.REV] = deviceBytes(w)
+	cases := []struct {
+		paradigm policy.Paradigm
+		spec     *scenario.Spec
+	}{
+		// CS: n request/reply rounds.
+		{policy.CS, t1Spec(false, time.Duration(n)*30*time.Second, scenario.Calls{
+			Client: "device", Server: "server", Service: "work",
+			ReqBytes: t1Req, ReplyBytes: t1Reply, Rounds: n,
+		})},
+		// REV: ship the code once, get the result.
+		{policy.REV, t1Spec(false, 10*time.Minute, scenario.EvalOnce{
+			Client: "device", Server: "server",
+			Unit: func(w *scenario.World) *lmu.Unit {
+				job := codec(w)
+				job.Manifest.Kind = lmu.KindRequest
+				w.ID.Sign(job)
+				return job
+			},
+			Entry: "decode", Args: []int64{n * 8},
+		})},
+		// COD: fetch the component once, run the n interactions locally.
+		{policy.COD, t1Spec(false, 10*time.Minute, scenario.FetchRun{
+			Client: "device", Server: "server",
+			Unit:  codec,
+			Entry: "decode", Runs: n, Args: []int64{8},
+		})},
+		// MA: one agent out and back carrying state.
+		{policy.MA, t1Spec(true, 10*time.Minute, scenario.SpawnAgent{
+			Host: "device", Name: "roundtrip", Program: t1AgentProgram,
+			Data: map[string][]byte{
+				agent.KeyDest:      []byte("device"),
+				agent.KeyItinerary: agent.EncodeItinerary([]string{"server"}),
+				"state":            make([]byte, t1State),
+				// Pad the agent to carry application logic comparable to the
+				// component the other paradigms ship, as the model assumes.
+				"applogic": make([]byte, t1Code),
+			},
+			Entry: "main",
+		})},
 	}
-
-	// --- COD: fetch the component once, run the n interactions locally.
-	{
-		w := newWorld(seed)
-		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
-		unit := app.BuildCodec(w.id, "t1", "1.0", 3000)
-		if err := server.Publish(unit); err != nil {
-			panic(err)
-		}
-		device.Fetch("server", unit.Manifest.Name, "", func(u *lmu.Unit, err error) {
-			if err == nil {
-				for i := int64(0); i < n; i++ {
-					_, _ = device.RunComponent(unit.Manifest.Name, "decode", 8)
-				}
-			}
-		})
-		w.sim.RunFor(10 * time.Minute)
-		out[policy.COD] = deviceBytes(w)
-	}
-
-	// --- MA: one agent out and back carrying state.
-	{
-		w := newWorld(seed)
-		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.GPRS, nil)
-		agent.NewPlatform(server, agent.Env{Seed: seed})
-		devPlat := agent.NewPlatform(device, agent.Env{Seed: seed})
-		prog := vm.MustAssemble(t1AgentSource)
-		data := map[string][]byte{
-			agent.KeyDest:      []byte("device"),
-			agent.KeyItinerary: agent.EncodeItinerary([]string{"server"}),
-			"state":            make([]byte, t1State),
-			// Pad the agent to carry application logic comparable to the
-			// component the other paradigms ship, as the model assumes.
-			"applogic": make([]byte, 3000),
-		}
-		if _, err := devPlat.Spawn("roundtrip", prog, data, "main"); err != nil {
-			panic(err)
-		}
-		w.sim.RunFor(10 * time.Minute)
-		out[policy.MA] = deviceBytes(w)
+	for _, c := range cases {
+		w, _ := c.spec.Run(seed)
+		out[c.paradigm] = deviceBytes(w)
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"logmob/internal/app"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 	"logmob/internal/vm"
 )
 
@@ -91,18 +92,18 @@ func runT10(seed int64) *Result {
 	}{
 		{"lan", netsim.LAN}, {"wlan", netsim.WLAN}, {"adhoc", netsim.AdHoc}, {"gprs", netsim.GPRS},
 	} {
-		w := newWorld(seed)
-		server := w.addHost("server", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{X: 5}, link.class, nil)
+		w := scenario.NewWorld(seed)
+		server := w.AddHost("server", netsim.Position{}, netsim.LAN, nil)
+		device := w.AddHost("device", netsim.Position{X: 5}, link.class, nil)
 		server.RegisterService("ping", func(string, [][]byte) ([][]byte, error) {
 			return [][]byte{{1}}, nil
 		})
-		start := w.sim.Now()
+		start := w.Sim.Now()
 		var rtt time.Duration
 		device.Call("server", "ping", [][]byte{{0}}, func([][]byte, error) {
-			rtt = w.sim.Now() - start
+			rtt = w.Sim.Now() - start
 		})
-		w.sim.RunFor(time.Minute)
+		w.Sim.RunFor(time.Minute)
 		table.AddRow("rpc round trip ("+link.name+")",
 			fmt.Sprintf("%.1f", float64(rtt.Microseconds())/1000), "ms (virtual)")
 	}

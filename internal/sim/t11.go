@@ -4,21 +4,16 @@ import (
 	"fmt"
 	"time"
 
-	"logmob/internal/agent"
-	"logmob/internal/core"
 	"logmob/internal/discovery"
-	"logmob/internal/lmu"
-	"logmob/internal/metrics"
 	"logmob/internal/netsim"
-	"logmob/internal/security"
-	"logmob/internal/transport"
-	"logmob/internal/vm"
+	"logmob/internal/scenario"
 )
 
 // T11 parameters: a festival crowd — thousands of short-range devices over
 // a large field, dense enough for local piconets but sparse enough that the
 // crowd stays partitioned and couriers must be ferried across gaps by
-// mobility.
+// mobility. The population sizes, field and radio range are sweepable
+// (-sweep attendees=100,500,2000); the rest stay constants.
 const (
 	t11Attendees = 2000
 	t11Stages    = 4
@@ -35,274 +30,110 @@ const (
 	t11SrcMax = 450.0
 )
 
-// t11CourierSource is a festival-grade store-carry-forward courier:
-// greedy geographic forwarding (hop to the neighbor closest to the
-// destination, provided by the t11_pick_greedy capability below) with a
-// carry fallback — at a local minimum or partition edge it parks and lets
-// attendee mobility ferry it. A pure random walk cannot cross the field in
-// time once the crowd's giant component holds over a thousand nodes.
-//
-// The courier is also paced to at most one hop per second. Pacing matters
-// at crowd scale: an unpaced courier hops as fast as the radio allows
-// (~25 hops/s), and each hop whose ack the topology breaks in flight
-// resumes the retained copy on the sender while the receiver runs the
-// transferred one — at thousands of link changes per second the courier
-// population grows exponentially. One hop per second keeps the
-// at-least-once duplication rate negligible.
-const t11CourierSource = `
-.globals 1
-.entry main
-main:
-loop:
-	host a_at_dest
-	jnz deliver
-	host t11_pick_greedy  ; pushes blob index, then found flag
-	jz carry              ; no closer neighbor: carry (index still stacked)
-	host a_select_blob    ; select the picked hop from the data space
-	jz wait
-	gload 0
-	push 1
-	add
-	gstore 0              ; attempts++
-	host a_migrate
-	pop                   ; drop the arrived/failed flag; loop re-evaluates
-	push 1000
-	host a_sleep          ; pace: at most one hop per second
-	jmp loop
-carry:
-	pop                   ; drop the unused blob index
-wait:
-	push 1000
-	host a_sleep          ; carry: wait for mobility to change the map
-	jmp loop
-deliver:
-	host a_deliver
-	pop
-	gload 0
-	halt
-`
-
-var t11CourierProgram = vm.MustAssemble(t11CourierSource)
-
-// t11HopKey is the data-space key t11_pick_greedy stores its choice under,
-// addressed from the program via a_select_blob.
-const t11HopKey = "t11/hop"
-
 // T11 is the large-scale scenario the grid-indexed simulator exists for:
 // beacon-based discovery and store-carry-forward couriers in a
 // 2000-node ad-hoc crowd, a field two orders of magnitude beyond the other
-// experiments. Before the spatial index, every beacon broadcast linear-
-// scanned the full node list, making each discovery round O(n²).
+// experiments. It is also the flagship of the declarative scenario API —
+// the whole world, workload and measurement are one scenario.Spec.
 func T11() Experiment {
-	return Experiment{
-		ID:    "T11",
-		Title: "Festival scale-out: 2000-node ad-hoc crowd",
-		Motivation: `"the increasing popularity of powerful, small-factor ` +
-			`computing devices" — the paper's motivating trend, pushed to a ` +
-			`crowd-scale ad-hoc field: discovery and agent messaging must keep ` +
+	return FromSpec("T11", "Festival scale-out: 2000-node ad-hoc crowd",
+		`"the increasing popularity of powerful, small-factor `+
+			`computing devices" — the paper's motivating trend, pushed to a `+
+			`crowd-scale ad-hoc field: discovery and agent messaging must keep `+
 			`working (and the simulator must stay tractable) at thousands of nodes.`,
-		Run: runT11,
-	}
+		map[string]float64{
+			"attendees": t11Attendees,
+			"stages":    t11Stages,
+			"field":     t11Field,
+			"range":     t11Range,
+			"couriers":  t11Couriers,
+		},
+		t11Spec,
+		"expected shape: coverage stays local (beacons are one-hop), most couriers cross their partition within the deadline, and the run stays tractable because connectivity queries are grid-indexed",
+	)
 }
 
-func runT11(seed int64) *Result {
-	res := &Result{ID: "T11", Title: "Festival scale-out"}
-	w := newWorld(seed)
+// t11Spec declares the festival world for one parameter set. Stages are
+// fixed infrastructure-free service points at the quarter points of the
+// field, advertising over beacons like everyone else; attendees roam under
+// random waypoint, so every node is both a beacon source and a courier
+// relay.
+func t11Spec(p map[string]float64) *scenario.Spec {
+	attendees := int(p["attendees"])
+	stages := int(p["stages"])
+	field := p["field"]
+	radio := p["range"]
 
-	class := netsim.AdHoc
-	class.Range = t11Range
-
-	platforms := make(map[string]*agent.Platform)
-	beacons := make(map[string]*discovery.Beacon)
-
-	// t11_pick_greedy: choose the radio neighbor geographically closest to
-	// the courier's destination, provided it is strictly closer than here
-	// (GPSR-style greedy mode; the courier carries otherwise). The pick is
-	// stored in the agent's data space and returned as (blob index, found)
-	// for a_select_blob. Neighbor iteration is insertion-ordered with
-	// first-wins ties, so the choice is deterministic.
-	greedyCaps := func(p *agent.Platform, u *lmu.Unit) []vm.HostFunc {
-		return []vm.HostFunc{{
-			Name: "t11_pick_greedy", Arity: 0,
-			Fn: func(*vm.Machine, []int64) ([]int64, int64, error) {
-				dest := string(u.Data[agent.KeyDest])
-				destNode := w.net.Node(dest)
-				hereNode := w.net.Node(p.Host().Name())
-				if destNode == nil || hereNode == nil {
-					return []int64{0, 0}, 0, nil
-				}
-				best := ""
-				bestD := hereNode.Pos.Dist(destNode.Pos)
-				for _, nb := range w.net.Neighbors(hereNode.ID) {
-					if nb == dest {
-						best = nb
-						break
-					}
-					if d := w.net.Node(nb).Pos.Dist(destNode.Pos); d < bestD {
-						best, bestD = nb, d
-					}
-				}
-				if best == "" {
-					return []int64{0, 0}, 0, nil
-				}
-				u.Data[t11HopKey] = []byte(best)
-				for i, k := range u.DataKeys() {
-					if k == t11HopKey {
-						return []int64{int64(i), 1}, 0, nil
-					}
-				}
-				return []int64{0, 0}, 0, nil // unreachable
-			},
-		}}
-	}
-
-	addFestivalHost := func(name string, pos netsim.Position) *core.Host {
-		h := w.addHost(name, pos, class, func(c *core.Config) {
-			c.Policy = security.Policy{AllowUnsigned: true}
-		})
-		platforms[name] = agent.NewPlatform(h, agent.Env{
-			Seed: seed + int64(len(platforms)), MaxHops: 4096,
-			ExtraCaps: greedyCaps,
-		})
-		beacons[name] = discovery.NewBeacon(
-			h.Mux().Channel(transport.ChanBeacon), w.sim, t11BeaconIvl)
-		return h
-	}
-
-	// Stages are fixed infrastructure-free service points at the quarter
-	// points of the field, advertising over beacons like everyone else.
-	stageNames := make([]string, t11Stages)
-	for k := 0; k < t11Stages; k++ {
-		name := fmt.Sprintf("stage%d", k)
-		stageNames[k] = name
-		pos := netsim.Position{
-			X: t11Field / 4 * float64(1+2*(k%2)),
-			Y: t11Field / 4 * float64(1+2*(k/2)),
+	stagePos := make(scenario.PlacePoints, stages)
+	for k := range stagePos {
+		stagePos[k] = netsim.Position{
+			X: field / 4 * float64(1+2*(k%2)),
+			Y: field / 4 * float64(1+2*(k/2)),
 		}
-		addFestivalHost(name, pos)
-		beacons[name].Advertise(discovery.Ad{Service: "festival/info"})
-		beacons[name].Advertise(discovery.Ad{Service: "festival/" + name})
-		beacons[name].Start()
 	}
-
-	// Attendees roam under random waypoint and advertise their presence,
-	// so every node is both a beacon source and a courier relay.
-	attendees := make([]string, t11Attendees)
-	for i := 0; i < t11Attendees; i++ {
-		name := fmt.Sprintf("a%d", i)
-		attendees[i] = name
-		pos := netsim.Position{
-			X: w.sim.Rand().Float64() * t11Field,
-			Y: w.sim.Rand().Float64() * t11Field,
-		}
-		addFestivalHost(name, pos)
-		beacons[name].Advertise(discovery.Ad{Service: "presence"})
-		beacons[name].Start()
-	}
-	w.net.StartMobility(&netsim.RandomWaypoint{
-		FieldW: t11Field, FieldH: t11Field,
-		SpeedMin: 1, SpeedMax: 5, Pause: 5 * time.Second,
-	}, time.Second, attendees...)
-
-	// Let the crowd mix and the beacon caches warm up.
-	w.sim.RunFor(t11Warmup)
 
 	// Couriers: store-carry-forward agents from attendees deep in the crowd
 	// to a stage, with first-delivery times recorded at the stages (agent
-	// transfer is at-least-once, so a courier can occasionally arrive twice).
-	var delivered metrics.Series
-	deliveredBy := make(map[string]bool)
-	for _, name := range stageNames {
-		w.hosts[name].OnMessage(func(_, topic string, _ []byte) {
-			if !deliveredBy[topic] {
-				deliveredBy[topic] = true
-				delivered.Observe(w.sim.Now().Seconds())
-			}
-		})
+	// transfer is at-least-once, so a courier can occasionally arrive
+	// twice).
+	fleet := &scenario.Couriers{
+		Count:        int(p["couriers"]),
+		TargetPop:    "stage",
+		SourcePop:    "a",
+		SrcMin:       t11SrcMin,
+		SrcMax:       t11SrcMax,
+		PayloadBytes: t11MsgSize,
+		NamePrefix:   "courier",
+		TopicPrefix:  "festival/courier",
 	}
-	spawnStart := w.sim.Now()
-	used := make(map[string]bool)
-	spawned := 0
-	for c := 0; c < t11Couriers; c++ {
-		target := stageNames[c%t11Stages]
-		stagePos := w.net.Node(target).Pos
-		src := ""
-		for _, name := range attendees {
-			if used[name] {
-				continue
-			}
-			d := w.net.Node(name).Pos.Dist(stagePos)
-			if d >= t11SrcMin && d < t11SrcMax {
-				src = name
-				break
-			}
-		}
-		if src == "" {
-			continue // no attendee currently in the band; skip this courier
-		}
-		used[src] = true
-		_, err := platforms[src].Spawn(fmt.Sprintf("courier%d", c), t11CourierProgram,
-			agent.NewCourierData(target, fmt.Sprintf("festival/courier%d", c),
-				make([]byte, t11MsgSize)), "main")
-		if err != nil {
-			panic(err)
-		}
-		spawned++
-	}
-	w.sim.RunFor(t11Deadline)
 
-	// Measure discovery coverage and neighborhood shape at the end.
-	infoCovered, presenceCached := 0, 0
-	for _, name := range attendees {
-		beacons[name].Find(discovery.Query{Service: "festival/info"}, func(ads []discovery.Ad) {
-			if len(ads) > 0 {
-				infoCovered++
-			}
-		})
-		presenceCached += beacons[name].CacheSize()
+	return &scenario.Spec{
+		Name:  "Festival scale-out",
+		Field: scenario.Field{Width: field, Height: field},
+		Populations: []scenario.Population{
+			{
+				Name: "stage", Count: stages, Place: stagePos,
+				Link: netsim.AdHoc, Range: radio,
+				AllowUnsigned: true,
+				Agents:        true, MaxHops: 4096,
+				ExtraCaps: scenario.GreedyGeoCaps,
+				Beacon:    t11BeaconIvl,
+				Ads:       []discovery.Ad{{Service: "festival/info"}},
+				AdSelf:    "festival/",
+			},
+			{
+				Name: "a", Count: attendees, Place: scenario.PlaceUniform{},
+				Link: netsim.AdHoc, Range: radio,
+				AllowUnsigned: true,
+				Agents:        true, AgentSeedOffset: int64(stages), MaxHops: 4096,
+				ExtraCaps: scenario.GreedyGeoCaps,
+				Beacon:    t11BeaconIvl,
+				Ads:       []discovery.Ad{{Service: "presence"}},
+				Mobility: &netsim.RandomWaypoint{
+					FieldW: field, FieldH: field,
+					SpeedMin: 1, SpeedMax: 5, Pause: 5 * time.Second,
+				},
+				MobilityTick: time.Second,
+			},
+		},
+		Warmup:    t11Warmup,
+		Duration:  t11Deadline,
+		Workloads: []scenario.Workload{fleet},
+		Probes: []scenario.Probe{
+			scenario.MeanNeighbors{Pop: "a"},
+			scenario.TopologyEpochs{},
+			scenario.BeaconTraffic{},
+			scenario.BeaconCache{Pop: "a", Label: "mean cached presence ads"},
+			scenario.Coverage{Pop: "a", Service: "festival/info"},
+			scenario.AgentHops{Label: "courier hops / failed"},
+			scenario.Deliveries{Of: fleet},
+			scenario.NetTraffic{},
+		},
+		TableTitle: fmt.Sprintf(
+			"Table T11: %d attendees + %d stages, %gx%gm field, range %gm, %v deadline",
+			attendees, stages, field, field, radio, t11Deadline),
 	}
-	totalNeighbors := 0
-	for _, name := range attendees {
-		totalNeighbors += len(w.net.Neighbors(name))
-	}
-	var sent, heard int64
-	for _, b := range beacons {
-		sent += b.Sent
-		heard += b.Heard
-	}
-	var hops, hopFails int64
-	for _, p := range platforms {
-		hops += p.Stats().Migrations
-		hopFails += p.Stats().MigrationFailures
-	}
-	usage := w.net.TotalUsage()
-
-	table := metrics.NewTable(fmt.Sprintf(
-		"Table T11: %d attendees + %d stages, %gx%gm field, range %gm, %v deadline",
-		t11Attendees, t11Stages, t11Field, t11Field, t11Range, t11Deadline),
-		"metric", "value")
-	table.AddRow("mean radio neighbors", fmt.Sprintf("%.2f", float64(totalNeighbors)/t11Attendees))
-	table.AddRow("topology epochs", w.sn.TopologyEpoch())
-	table.AddRow("beacon broadcasts", sent)
-	table.AddRow("beacon messages heard", heard)
-	table.AddRow("mean cached presence ads", fmt.Sprintf("%.1f", float64(presenceCached)/t11Attendees))
-	table.AddRow("festival/info coverage %", fmt.Sprintf("%.1f", 100*float64(infoCovered)/t11Attendees))
-	table.AddRow("courier hops / failed", fmt.Sprintf("%d / %d", hops, hopFails))
-	// Denominator is the couriers actually spawned: a stage can lack an
-	// unused attendee in the source band on some seeds, and a spawn gap
-	// must not read as a delivery failure.
-	table.AddRow("couriers delivered", fmt.Sprintf("%d/%d", len(deliveredBy), spawned))
-	if delivered.N() > 0 {
-		table.AddRow("courier median delivery s",
-			fmt.Sprintf("%.1f", delivered.Median()-spawnStart.Seconds()))
-	} else {
-		table.AddRow("courier median delivery s", "-")
-	}
-	table.AddRow("messages sent", usage.MsgsSent)
-	table.AddRow("MB sent", fmt.Sprintf("%.2f", float64(usage.BytesSent)/1e6))
-	res.Tables = append(res.Tables, table)
-	res.Notes = append(res.Notes,
-		"expected shape: coverage stays local (beacons are one-hop), most couriers cross their partition within the deadline, and the run stays tractable because connectivity queries are grid-indexed",
-	)
-	return res
 }
+
+// runT11 runs T11 at its defaults (kept for the shape and golden tests).
+func runT11(seed int64) *Result { return T11().Run(seed) }

@@ -10,6 +10,7 @@ import (
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
 	"logmob/internal/registry"
+	"logmob/internal/scenario"
 )
 
 // T2 plays a Zipf-skewed stream of audio formats on a storage-limited
@@ -50,9 +51,9 @@ func runT2(seed int64) *Result {
 
 	// --- preload-all: unlimited storage assumed; measure required footprint.
 	{
-		w := newWorld(seed)
+		w := scenario.NewWorld(seed)
 		reg := registry.New(0)
-		units := app.CodecCatalogue(w.id, t2Formats, t2TableSize)
+		units := app.CodecCatalogue(w.ID, t2Formats, t2TableSize)
 		pre := baseline.Preload(reg, units)
 		table.AddRow("preload-all", pre.Footprint, 0, "100.0", 0, "0")
 		res.Notes = append(res.Notes, fmt.Sprintf(
@@ -62,12 +63,12 @@ func runT2(seed int64) *Result {
 
 	// --- cod-cache: fetch on demand under quota.
 	{
-		w := newWorld(seed)
-		units := app.CodecCatalogue(w.id, t2Formats, t2TableSize)
+		w := scenario.NewWorld(seed)
+		units := app.CodecCatalogue(w.ID, t2Formats, t2TableSize)
 		quota := int64(t2Quota) * int64(units[0].Size())
-		repo := w.addHost("repo", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
-			c.Registry = registry.New(quota, registry.WithClock(w.sim.Now))
+		repo := w.AddHost("repo", netsim.Position{}, netsim.LAN, nil)
+		device := w.AddHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
+			c.Registry = registry.New(quota, registry.WithClock(w.Sim.Now))
 		})
 		for _, u := range units {
 			if err := repo.Publish(u); err != nil {
@@ -82,17 +83,17 @@ func runT2(seed int64) *Result {
 			if i >= t2Plays {
 				return
 			}
-			start := w.sim.Now()
+			start := w.Sim.Now()
 			player.Play(fmt.Sprintf("fmt-%02d", zipf.Next()), func(_ int64, _ bool, err error) {
 				if err == nil {
-					playLatency.Observe(float64((w.sim.Now() - start).Milliseconds()))
+					playLatency.Observe(float64((w.Sim.Now() - start).Milliseconds()))
 				}
 				play(i + 1)
 			})
 		}
 		play(0)
-		w.sim.RunFor(4 * time.Hour)
-		u := w.deviceUsage("device")
+		w.Sim.RunFor(4 * time.Hour)
+		u := w.Usage("device")
 		stats := device.Registry().Stats()
 		hitPct := 100 * float64(player.Hits) / float64(player.Plays)
 		table.AddRow("cod-cache", device.Registry().Used(), u.BytesSent+u.BytesRecv,
@@ -102,9 +103,9 @@ func runT2(seed int64) *Result {
 
 	// --- cs-remote: every play is a remote decode round trip.
 	{
-		w := newWorld(seed)
-		server := w.addHost("repo", netsim.Position{}, netsim.LAN, nil)
-		device := w.addHost("device", netsim.Position{}, netsim.WLAN, nil)
+		w := scenario.NewWorld(seed)
+		server := w.AddHost("repo", netsim.Position{}, netsim.LAN, nil)
+		device := w.AddHost("device", netsim.Position{}, netsim.WLAN, nil)
 		// The remote decoder returns raw PCM, which dwarfs the compressed
 		// codec component: 64KB per play (a short clip).
 		decoded := make([]byte, 64<<10)
@@ -118,16 +119,16 @@ func runT2(seed int64) *Result {
 			if i >= t2Plays {
 				return
 			}
-			start := w.sim.Now()
+			start := w.Sim.Now()
 			_ = zipf.Next() // format choice does not change remote traffic
 			device.Call("repo", "decode", [][]byte{[]byte("fmt")}, func([][]byte, error) {
-				playLatency.Observe(float64((w.sim.Now() - start).Milliseconds()))
+				playLatency.Observe(float64((w.Sim.Now() - start).Milliseconds()))
 				play(i + 1)
 			})
 		}
 		play(0)
-		w.sim.RunFor(4 * time.Hour)
-		u := w.deviceUsage("device")
+		w.Sim.RunFor(4 * time.Hour)
+		u := w.Usage("device")
 		table.AddRow("cs-remote", 0, u.BytesSent+u.BytesRecv, "-", 0,
 			fmt.Sprintf("%.1f", playLatency.Mean()))
 	}

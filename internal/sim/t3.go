@@ -9,6 +9,7 @@ import (
 	"logmob/internal/core"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 	"logmob/internal/security"
 )
 
@@ -41,9 +42,9 @@ func runDisaster(seed int64, n int, speed float64) disasterOutcome {
 		{
 			w := newDisasterWorld(pairSeed, n, speed)
 			var deliveredAt time.Duration
-			w.hosts["n1"].OnMessage(func(string, string, []byte) {
+			w.Hosts["n1"].OnMessage(func(string, string, []byte) {
 				if deliveredAt == 0 {
-					deliveredAt = w.sim.Now()
+					deliveredAt = w.Sim.Now()
 				}
 			})
 			plat := w.platforms["n0"]
@@ -52,7 +53,7 @@ func runDisaster(seed int64, n int, speed float64) disasterOutcome {
 			if err != nil {
 				panic(err)
 			}
-			w.sim.RunFor(disasterDeadline)
+			w.Sim.RunFor(disasterDeadline)
 			if deliveredAt > 0 {
 				out.maDelivered++
 				out.maLatency.Observe(deliveredAt.Seconds())
@@ -63,14 +64,14 @@ func runDisaster(seed int64, n int, speed float64) disasterOutcome {
 		{
 			w := newDisasterWorld(pairSeed, n, speed)
 			delivered := false
-			w.net.SetHandler("n1", func(string, []byte) { delivered = true })
-			m := baseline.NewMessenger(w.net)
+			w.Net.SetHandler("n1", func(string, []byte) { delivered = true })
+			m := baseline.NewMessenger(w.Net)
 			m.Deadline = disasterDeadline
 			var outcome baseline.MessageOutcome
 			m.SendUntilConfirmed("n0", "n1", make([]byte, disasterMsgSize),
 				func() bool { return delivered },
 				func(o baseline.MessageOutcome) { outcome = o })
-			w.sim.RunFor(disasterDeadline + time.Minute)
+			w.Sim.RunFor(disasterDeadline + time.Minute)
 			if outcome.Delivered {
 				out.csDelivered++
 				out.csLatency.Observe(outcome.DeliveredAt.Seconds())
@@ -84,12 +85,12 @@ func runDisaster(seed int64, n int, speed float64) disasterOutcome {
 // waypoint mobility. n0 sits at one corner, n1 at the opposite corner;
 // relays start at random positions.
 type disasterWorld struct {
-	*world
+	*scenario.World
 	platforms map[string]*agent.Platform
 }
 
 func newDisasterWorld(seed int64, n int, speed float64) *disasterWorld {
-	w := &disasterWorld{world: newWorld(seed), platforms: make(map[string]*agent.Platform)}
+	w := &disasterWorld{World: scenario.NewWorld(seed), platforms: make(map[string]*agent.Platform)}
 	names := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("n%d", i)
@@ -101,20 +102,20 @@ func newDisasterWorld(seed int64, n int, speed float64) *disasterWorld {
 			pos = netsim.Position{X: disasterField - 10, Y: disasterField - 10}
 		default:
 			pos = netsim.Position{
-				X: w.sim.Rand().Float64() * disasterField,
-				Y: w.sim.Rand().Float64() * disasterField,
+				X: w.Sim.Rand().Float64() * disasterField,
+				Y: w.Sim.Rand().Float64() * disasterField,
 			}
 		}
 		class := netsim.AdHoc
 		class.Range = 60
-		h := w.addHost(name, pos, class, func(c *core.Config) {
+		h := w.AddHost(name, pos, class, func(c *core.Config) {
 			c.Policy = security.Policy{AllowUnsigned: true}
 		})
 		w.platforms[name] = agent.NewPlatform(h, agent.Env{Seed: seed + int64(i), MaxHops: 4096})
 		names = append(names, name)
 	}
 	// Relays (and the endpoints) roam; endpoints move too in a disaster.
-	w.net.StartMobility(&netsim.RandomWaypoint{
+	w.Net.StartMobility(&netsim.RandomWaypoint{
 		FieldW: disasterField, FieldH: disasterField,
 		SpeedMin: speed / 2, SpeedMax: speed * 1.5,
 		Pause: 2 * time.Second,

@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"logmob/internal/agent"
 	"logmob/internal/app"
+	"logmob/internal/core"
 	"logmob/internal/lmu"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 )
 
 // T5 compares a shopping agent with interactive catalogue browsing on a
@@ -25,7 +26,18 @@ func T5() Experiment {
 			`agents could be a solution to this problem, encapsulating the ` +
 			`description of the product the user wishes to buy, finding the ` +
 			`best price, and performing the actual transaction for the user."`,
-		Run: runT5,
+		Run:    runT5,
+		Params: map[string]float64{"vendors": 16},
+		RunWith: func(seed int64, params map[string]float64) *Result {
+			v := 16
+			if pv, ok := params["vendors"]; ok {
+				v = int(pv)
+			}
+			if v < 1 {
+				panic("T5: vendors must be >= 1")
+			}
+			return runT5Vendors(seed, []int{v})
+		},
 	}
 }
 
@@ -34,7 +46,26 @@ const (
 	t5PagesPerVendor = 3
 )
 
+// t5Vendors declares the vendor population: LAN marketplace hosts with a
+// per-vendor catalogue, optionally agent-capable for the shopper to visit.
+func t5Vendors(vendors int, prices []float64, agents bool) scenario.Population {
+	return scenario.Population{
+		Name:   "shop",
+		Count:  vendors,
+		NameOf: func(i int) string { return fmt.Sprintf("shop-%02d", i) },
+		Link:   netsim.LAN,
+		Agents: agents, ExtraCaps: scenario.StaticCaps(app.VendorCaps),
+		Setup: func(w *scenario.World, i int, h *core.Host) {
+			app.SetupVendor(h, map[string]float64{"widget": prices[i]}, t5PageSize)
+		},
+	}
+}
+
 func runT5(seed int64) *Result {
+	return runT5Vendors(seed, []int{2, 4, 8, 16})
+}
+
+func runT5Vendors(seed int64, sweep []int) *Result {
 	res := &Result{ID: "T5", Title: "Shopping agent vs browsing"}
 	table := metrics.NewTable(fmt.Sprintf(
 		"Table T5: GPRS device, %d catalogue pages x %dB per vendor browsed",
@@ -42,47 +73,46 @@ func runT5(seed int64) *Result {
 		"vendors", "strategy", "device B", "cost $", "airtime s", "best cents")
 	chart := metrics.NewChart("Figure T5: device monetary cost vs vendors", "vendors", "$")
 
-	for _, vendors := range []int{2, 4, 8, 16} {
+	for _, vendors := range sweep {
 		// Same price vector for both strategies.
 		prices := make([]float64, vendors)
-		cheapest := 0
+		names := make([]string, vendors)
 		for i := range prices {
 			prices[i] = 5 + float64((i*7)%13)
-			if prices[i] < prices[cheapest] {
-				cheapest = i
-			}
+			names[i] = fmt.Sprintf("shop-%02d", i)
 		}
 
 		// --- MA: shopping agent.
 		{
-			w := newWorld(seed)
-			home := w.addHost("home", netsim.Position{}, netsim.GPRS, nil)
-			names := make([]string, vendors)
-			for i := 0; i < vendors; i++ {
-				names[i] = fmt.Sprintf("shop-%02d", i)
-				vh := w.addHost(names[i], netsim.Position{}, netsim.LAN, nil)
-				app.SetupVendor(vh, map[string]float64{"widget": prices[i]}, t5PageSize)
-				agent.NewPlatform(vh, agent.Env{Seed: seed + int64(i), ExtraCaps: app.VendorCaps})
+			spec := &scenario.Spec{
+				Name: "Shopping agent",
+				Populations: []scenario.Population{
+					{Name: "home", Link: netsim.GPRS,
+						Agents: true, ExtraCaps: scenario.StaticCaps(app.VendorCaps)},
+					t5Vendors(vendors, prices, true),
+				},
+				Duration: 30 * time.Minute,
+				Workloads: []scenario.Workload{scenario.SpawnAgent{
+					Host: "home", Entry: "main",
+					Unit: func(w *scenario.World) *lmu.Unit {
+						unit := &lmu.Unit{
+							Manifest: lmu.Manifest{Name: "shopper", Version: "1.0",
+								Kind: lmu.KindAgent, Publisher: w.ID.Name},
+							Code: app.ShopperProgram.Encode(),
+							Data: app.NewShopperData("home", "widget", names),
+						}
+						w.ID.SignCode(unit)
+						return unit
+					},
+				}},
 			}
-			var final agent.Record
-			hp := agent.NewPlatform(home, agent.Env{
-				Seed: seed, ExtraCaps: app.VendorCaps,
-				OnDone: func(r agent.Record) { final = r },
-			})
-			unit := &lmu.Unit{
-				Manifest: lmu.Manifest{Name: "shopper", Version: "1.0", Kind: lmu.KindAgent, Publisher: w.id.Name},
-				Code:     app.ShopperProgram.Encode(),
-				Data:     app.NewShopperData("home", "widget", names),
-			}
-			w.id.SignCode(unit)
-			if _, err := hp.SpawnUnit(unit, "main"); err != nil {
-				panic(err)
-			}
-			w.sim.RunFor(30 * time.Minute)
-			u := w.deviceUsage("home")
+			w, _ := spec.Run(seed)
+			u := w.Usage("home")
 			best := int64(-1)
-			if n := len(final.Stack); n >= 2 {
-				best = final.Stack[n-1]
+			if final, ok := w.LastRecord("shopper"); ok {
+				if n := len(final.Stack); n >= 2 {
+					best = final.Stack[n-1]
+				}
 			}
 			table.AddRow(vendors, "MA agent", u.BytesSent+u.BytesRecv,
 				fmt.Sprintf("%.4f", u.Cost), fmt.Sprintf("%.1f", u.Airtime.Seconds()), best)
@@ -91,20 +121,21 @@ func runT5(seed int64) *Result {
 
 		// --- CS: interactive browsing.
 		{
-			w := newWorld(seed)
-			device := w.addHost("home", netsim.Position{}, netsim.GPRS, nil)
-			names := make([]string, vendors)
-			for i := 0; i < vendors; i++ {
-				names[i] = fmt.Sprintf("shop-%02d", i)
-				vh := w.addHost(names[i], netsim.Position{}, netsim.LAN, nil)
-				app.SetupVendor(vh, map[string]float64{"widget": prices[i]}, t5PageSize)
-			}
 			var result app.BrowseResult
-			app.BrowseCS(device, names, "widget", t5PagesPerVendor, func(r app.BrowseResult) {
-				result = r
-			})
-			w.sim.RunFor(2 * time.Hour)
-			u := w.deviceUsage("home")
+			spec := &scenario.Spec{
+				Name: "Interactive browsing",
+				Populations: []scenario.Population{
+					{Name: "home", Link: netsim.GPRS},
+					t5Vendors(vendors, prices, false),
+				},
+				Duration: 2 * time.Hour,
+				Workloads: []scenario.Workload{scenario.Func(func(w *scenario.World) {
+					app.BrowseCS(w.Hosts["home"], names, "widget", t5PagesPerVendor,
+						func(r app.BrowseResult) { result = r })
+				})},
+			}
+			w, _ := spec.Run(seed)
+			u := w.Usage("home")
 			table.AddRow(vendors, "CS browse", u.BytesSent+u.BytesRecv,
 				fmt.Sprintf("%.4f", u.Cost), fmt.Sprintf("%.1f", u.Airtime.Seconds()), result.BestCents)
 			chart.Add("CS", float64(vendors), u.Cost)

@@ -8,6 +8,7 @@ import (
 	"logmob/internal/core"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 )
 
 // T6 measures computation offloading by Remote Evaluation: the prime-count
@@ -38,11 +39,11 @@ func runT6(seed int64) *Result {
 	// Local execution: measure the workload's real instruction count once.
 	var localSteps int64
 	{
-		w := newWorld(seed)
-		dev := w.addHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
+		w := scenario.NewWorld(seed)
+		dev := w.AddHost("device", netsim.Position{}, netsim.WLAN, func(c *core.Config) {
 			c.EvalFuel = 1 << 30
 		})
-		job := app.BuildPrimeJob(w.id)
+		job := app.BuildPrimeJob(w.ID)
 		if err := dev.Registry().Put(job); err != nil {
 			panic(err)
 		}
@@ -69,22 +70,22 @@ func runT6(seed int64) *Result {
 	}
 	for _, link := range links {
 		for _, factor := range []float64{0.5, 1, 2, 5, 10, 20} {
-			w := newWorld(seed)
-			w.addHost("server", netsim.Position{}, netsim.LAN, func(c *core.Config) {
+			w := scenario.NewWorld(seed)
+			w.AddHost("server", netsim.Position{}, netsim.LAN, func(c *core.Config) {
 				c.ComputeRate = t6DeviceRate * factor
 				c.EvalFuel = 1 << 30
 			})
-			dev := w.addHost("device", netsim.Position{}, link.class, nil)
-			job := app.BuildPrimeJob(w.id)
-			start := w.sim.Now()
+			dev := w.AddHost("device", netsim.Position{}, link.class, nil)
+			job := app.BuildPrimeJob(w.ID)
+			start := w.Sim.Now()
 			var took time.Duration
 			dev.Eval("server", job, "main", []int64{t6PrimeN}, func(stack []int64, err error) {
 				if err != nil {
 					panic(err)
 				}
-				took = w.sim.Now() - start
+				took = w.Sim.Now() - start
 			})
-			w.sim.RunFor(2 * time.Hour)
+			w.Sim.RunFor(2 * time.Hour)
 			speedup := localTime.Seconds() / took.Seconds()
 			table.AddRow(link.name, factor, fmt.Sprintf("%.1f", took.Seconds()),
 				fmt.Sprintf("%.2f", speedup))

@@ -7,6 +7,7 @@ import (
 	"logmob/internal/app"
 	"logmob/internal/metrics"
 	"logmob/internal/netsim"
+	"logmob/internal/scenario"
 )
 
 // T9 measures the location-based-services scenario end to end: a user walks
@@ -60,23 +61,23 @@ func runT9(seed int64) *Result {
 // runT9Walk walks a user into the cinema zone twice and reports the two
 // time-to-service values and the bytes fetched.
 func runT9Walk(seed int64, class netsim.LinkClass) (first, ret time.Duration, fetched int64) {
-	w := newWorld(seed)
+	w := scenario.NewWorld(seed)
 	venuePos := netsim.Position{X: 100, Y: 100}
 	venueClass := class
 	if !class.Infrastructure {
 		venueClass.Range = 80
 	}
-	cinema := w.addHost("cinema", venuePos, venueClass, nil)
+	cinema := w.AddHost("cinema", venuePos, venueClass, nil)
 	userClass := class
 	if !class.Infrastructure {
 		userClass.Range = 80
 	}
-	user := w.addHost("user", netsim.Position{X: 400, Y: 100}, userClass, nil)
-	if err := cinema.Publish(app.BuildTicketUI(w.id, t9Screenings, t9UISize)); err != nil {
+	user := w.AddHost("user", netsim.Position{X: 400, Y: 100}, userClass, nil)
+	if err := cinema.Publish(app.BuildTicketUI(w.ID, t9Screenings, t9UISize)); err != nil {
 		panic(err)
 	}
 
-	stop := app.StartGeofencing(w.net, "user", user.Context(),
+	stop := app.StartGeofencing(w.Net, "user", user.Context(),
 		[]app.Geofence{{Name: "cinema", Center: venuePos, Radius: 60}}, time.Second)
 	defer stop()
 
@@ -89,7 +90,7 @@ func runT9Walk(seed int64, class netsim.LinkClass) (first, ret time.Duration, fe
 		})
 
 	// Walk in, walk out, walk back in.
-	w.net.StartMobility(&netsim.Waypath{
+	w.Net.StartMobility(&netsim.Waypath{
 		Points: []netsim.Position{
 			{X: 110, Y: 100}, // in
 			{X: 400, Y: 100}, // out
@@ -97,11 +98,11 @@ func runT9Walk(seed int64, class netsim.LinkClass) (first, ret time.Duration, fe
 		},
 		Speed: 15,
 	}, time.Second, "user")
-	w.sim.RunFor(10 * time.Minute)
+	w.Sim.RunFor(10 * time.Minute)
 
 	if len(visits) < 2 {
 		panic(fmt.Sprintf("T9: expected 2 walk-ins, got %d", len(visits)))
 	}
-	u := w.deviceUsage("user")
+	u := w.Usage("user")
 	return visits[0], visits[1], u.BytesRecv
 }

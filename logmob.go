@@ -38,9 +38,11 @@ import (
 	"logmob/internal/ctxsvc"
 	"logmob/internal/discovery"
 	"logmob/internal/lmu"
+	"logmob/internal/metrics"
 	"logmob/internal/netsim"
 	"logmob/internal/policy"
 	"logmob/internal/registry"
+	"logmob/internal/scenario"
 	"logmob/internal/security"
 	"logmob/internal/transport"
 	"logmob/internal/update"
@@ -146,6 +148,18 @@ type (
 
 // NewAgentPlatform attaches an agent runtime to a Host.
 func NewAgentPlatform(h *Host, env AgentEnv) *AgentPlatform { return agent.NewPlatform(h, env) }
+
+// CourierProgram is the stock store-carry-forward courier agent: it hops
+// toward its destination (the destination if adjacent, else a random
+// neighbor, carrying when isolated) and delivers its payload under its
+// topic.
+var CourierProgram = agent.CourierProgram
+
+// NewCourierData builds the data space for a courier carrying payload to
+// dest, delivered under topic.
+func NewCourierData(dest, topic string, payload []byte) map[string][]byte {
+	return agent.NewCourierData(dest, topic, payload)
+}
 
 // Discovery.
 type (
@@ -256,3 +270,120 @@ func ListenTCP(addr string) (*transport.TCPEndpoint, error) { return transport.L
 
 // NewWallScheduler returns a wall-clock scheduler for real-TCP hosts.
 func NewWallScheduler() *transport.WallScheduler { return transport.NewWallScheduler() }
+
+// Mobility models for simulated populations.
+type (
+	// MobilityModel moves simulated nodes.
+	MobilityModel = netsim.MobilityModel
+	// RandomWaypoint is the classic pick-a-point-and-walk model.
+	RandomWaypoint = netsim.RandomWaypoint
+	// Waypath walks a fixed polyline.
+	Waypath = netsim.Waypath
+)
+
+// Scenario API: declarative worlds, replication and sweeps.
+//
+// A Scenario describes a simulated deployment — field, node populations
+// (placement, link class, mobility, host configuration), workloads across
+// the four paradigms, probes and duration — and compiles into a World.
+// RunSpec executes it for one seed; a ScenarioRunner replicates it across
+// seeds, optionally in parallel, and aggregates the result tables into
+// mean±stddev summaries.
+type (
+	// Scenario is a declarative experiment specification.
+	Scenario = scenario.Spec
+	// ScenarioField is the world's field in metres.
+	ScenarioField = scenario.Field
+	// Population declares one group of like-configured nodes.
+	Population = scenario.Population
+	// World is a compiled scenario: hosts, platforms, beacons, network.
+	World = scenario.World
+	// ScenarioWorkload is one unit of activity started after warmup.
+	ScenarioWorkload = scenario.Workload
+	// ScenarioProbe contributes rows to the scenario's summary table.
+	ScenarioProbe = scenario.Probe
+	// ScenarioResult is the rendered output of a scenario or experiment.
+	ScenarioResult = scenario.Result
+	// ScenarioRunner replicates a run function across seeds.
+	ScenarioRunner = scenario.Runner
+	// MultiResult is a replicated run: per-seed results plus the aggregate.
+	MultiResult = scenario.MultiResult
+	// Placement positions a population's members.
+	Placement = scenario.Placement
+	// PlaceUniform scatters members uniformly over the field.
+	PlaceUniform = scenario.PlaceUniform
+	// PlacePoints places members at fixed positions.
+	PlacePoints = scenario.PlacePoints
+	// Table is an aligned result table.
+	Table = metrics.Table
+)
+
+// Workloads spanning the four paradigms, plus the escape hatch.
+type (
+	// CallsWorkload runs Client/Server request/reply rounds.
+	CallsWorkload = scenario.Calls
+	// EvalWorkload ships code once for Remote Evaluation.
+	EvalWorkload = scenario.EvalOnce
+	// FetchRunWorkload fetches a component once and runs it locally (COD).
+	FetchRunWorkload = scenario.FetchRun
+	// AgentWorkload launches one mobile agent.
+	AgentWorkload = scenario.SpawnAgent
+	// CourierWorkload launches a store-carry-forward courier fleet.
+	CourierWorkload = scenario.Couriers
+	// WorkloadFunc adapts a function to a ScenarioWorkload.
+	WorkloadFunc = scenario.Func
+)
+
+// Built-in probes.
+type (
+	// MeanNeighborsProbe reports mean radio-neighbor counts.
+	MeanNeighborsProbe = scenario.MeanNeighbors
+	// CoverageProbe reports discovery coverage of a service.
+	CoverageProbe = scenario.Coverage
+	// BeaconTrafficProbe reports beacon broadcast/reception totals.
+	BeaconTrafficProbe = scenario.BeaconTraffic
+	// AgentHopsProbe reports agent migration totals.
+	AgentHopsProbe = scenario.AgentHops
+	// DeliveriesProbe reports courier delivery statistics.
+	DeliveriesProbe = scenario.Deliveries
+	// NetTrafficProbe reports whole-network traffic totals.
+	NetTrafficProbe = scenario.NetTraffic
+	// ProbeFunc adapts a function to a ScenarioProbe.
+	ProbeFunc = scenario.ProbeFunc
+)
+
+// GreedyCourierProgram is the greedy-geographic store-carry-forward courier
+// used by CourierWorkload by default; platforms carrying it need
+// GreedyGeoCaps (set Population.ExtraCaps = logmob.GreedyGeoCaps).
+var GreedyCourierProgram = scenario.GreedyCourierProgram
+
+// GreedyGeoCaps provides the geo_pick_greedy capability GreedyCourierProgram
+// requires.
+func GreedyGeoCaps(w *World) func(*AgentPlatform, *Unit) []vm.HostFunc {
+	return scenario.GreedyGeoCaps(w)
+}
+
+// NewWorld returns an empty deterministic simulated world for a seed, for
+// imperative construction with World.AddHost.
+func NewWorld(seed int64) *World { return scenario.NewWorld(seed) }
+
+// RunSpec compiles and runs a scenario for one seed, returning the compiled
+// world (for ad-hoc measurement) and the probe summary table (nil without
+// probes).
+func RunSpec(s *Scenario, seed int64) (*World, *Table) { return s.Run(seed) }
+
+// RunSeeds replicates a run function across n seeds starting at base,
+// parallel at a time, and aggregates the per-seed tables.
+func RunSeeds(base int64, n, parallel int, fn func(seed int64) *ScenarioResult) *MultiResult {
+	return ScenarioRunner{Seeds: scenario.Seeds(base, n), Parallel: parallel}.Run(fn)
+}
+
+// NewResultTable creates an empty result table with the given column
+// headers, for custom probes and workload reports.
+func NewResultTable(title string, headers ...string) *Table {
+	return metrics.NewTable(title, headers...)
+}
+
+// AggregateTables combines replicate tables of identical shape into one
+// mean±stddev summary table.
+func AggregateTables(tables []*Table) (*Table, error) { return metrics.AggregateTables(tables) }
