@@ -11,6 +11,11 @@
 //	experiments -parallel 4        run replicates 4 at a time (one Sim per
 //	                               seed; per-seed output is identical to a
 //	                               serial run)
+//	experiments -workers 8         size each world's tick worker pool: the
+//	                               simulator shards mobility and neighbor
+//	                               recomputation across 8 workers (0 =
+//	                               GOMAXPROCS, 1 = serial engine; per-seed
+//	                               output is identical at any setting)
 //	experiments -sweep a=1,2,3     sweep parameter a over the given values
 //	                               (see -list for each experiment's
 //	                               parameters)
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic base seed")
 	seeds := flag.Int("seeds", 1, "number of replicate seeds (seed..seed+N-1)")
 	parallel := flag.Int("parallel", 1, "replicates to run concurrently")
+	workers := flag.Int("workers", 0, "tick worker pool per world (0 = GOMAXPROCS split across -parallel, 1 = serial engine)")
 	sweepFlag := flag.String("sweep", "", "parameter sweep, e.g. attendees=100,500,2000")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -51,6 +58,15 @@ func main() {
 	if *parallel < 1 {
 		fatalf("-parallel must be >= 1")
 	}
+	// Safe to default to the parallel engine: per-seed tables are
+	// bit-identical at any worker count (the differential tests enforce
+	// it). When replicates already run -parallel at a time, split the
+	// cores between worlds instead of oversubscribing parallel x workers.
+	effWorkers := *workers
+	if effWorkers == 0 && *parallel > 1 {
+		effWorkers = max(1, runtime.GOMAXPROCS(0) / *parallel)
+	}
+	scenario.SetDefaultWorkers(effWorkers)
 
 	if *list {
 		for _, e := range sim.All() {

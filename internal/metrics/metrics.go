@@ -38,6 +38,18 @@ func (s *Series) Observe(v float64) { s.vals = append(s.vals, v) }
 // N returns the number of observations.
 func (s *Series) N() int { return len(s.vals) }
 
+// Values returns a copy of the observations in observation order, for
+// callers that need the raw sequence (e.g. exact-equality differential
+// checks) rather than a summary.
+func (s *Series) Values() []float64 {
+	if len(s.vals) == 0 {
+		return nil
+	}
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
 // Sum returns the total.
 func (s *Series) Sum() float64 {
 	total := 0.0

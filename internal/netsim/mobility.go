@@ -13,6 +13,26 @@ type MobilityModel interface {
 	Step(n *Network, node *Node, dt time.Duration)
 }
 
+// Planner is an optional MobilityModel extension that splits Step into a
+// pure planning half and an arrival commit, enabling the deterministic
+// two-phase parallel tick (see parallel.go). A model implementing Planner
+// must keep Step equivalent to: apply PlanStep's position, then run
+// CommitArrival when it reports arrival.
+type Planner interface {
+	MobilityModel
+	// PlanStep computes node's position after dt of movement. It runs on a
+	// worker goroutine: it must not mutate the node, the network or the
+	// RNG. moved reports a position to commit; arrived reports that the
+	// node reached its waypoint and CommitArrival must run for it during
+	// the serial commit phase.
+	PlanStep(node *Node, now, dt time.Duration) (next Position, moved, arrived bool)
+	// CommitArrival performs the model's arrival-time state changes and
+	// RNG draws. It runs on the event-loop goroutine, in the same node
+	// order the serial engine steps, so the RNG stream is identical at any
+	// worker count.
+	CommitArrival(n *Network, node *Node)
+}
+
 // RandomWaypoint is the classic ad-hoc mobility model: each node picks a
 // uniform random destination in the field, moves toward it at a uniform
 // random speed, pauses, and repeats.
@@ -25,7 +45,7 @@ type RandomWaypoint struct {
 	Pause time.Duration
 }
 
-var _ MobilityModel = (*RandomWaypoint)(nil)
+var _ Planner = (*RandomWaypoint)(nil)
 
 // Init picks the node's first waypoint.
 func (m *RandomWaypoint) Init(n *Network, node *Node) {
@@ -38,23 +58,42 @@ func (m *RandomWaypoint) pick(n *Network, node *Node) {
 	node.speed = m.SpeedMin + rng.Float64()*(m.SpeedMax-m.SpeedMin)
 }
 
-// Step moves the node toward its waypoint, pausing on arrival.
+// Step moves the node toward its waypoint, pausing on arrival. It is
+// exactly PlanStep + commit, so the serial and parallel engines share one
+// integration formula and produce bit-identical trajectories.
 func (m *RandomWaypoint) Step(n *Network, node *Node, dt time.Duration) {
-	now := n.Sim().Now()
+	next, moved, arrived := m.PlanStep(node, n.Sim().Now(), dt)
+	if moved {
+		node.Pos = next
+	}
+	if arrived {
+		m.CommitArrival(n, node)
+	}
+}
+
+// PlanStep implements Planner: pure integration toward the current
+// waypoint, no mutation, no RNG.
+func (m *RandomWaypoint) PlanStep(node *Node, now, dt time.Duration) (Position, bool, bool) {
 	if now < node.pauseTo {
-		return
+		return Position{}, false, false
 	}
 	dist := node.Pos.Dist(node.target)
 	travel := node.speed * dt.Seconds()
 	if travel >= dist {
-		node.Pos = node.target
-		node.pauseTo = now + m.Pause
-		m.pick(n, node)
-		return
+		return node.target, true, true
 	}
 	frac := travel / dist
-	node.Pos.X += (node.target.X - node.Pos.X) * frac
-	node.Pos.Y += (node.target.Y - node.Pos.Y) * frac
+	next := node.Pos
+	next.X += (node.target.X - next.X) * frac
+	next.Y += (node.target.Y - next.Y) * frac
+	return next, true, false
+}
+
+// CommitArrival implements Planner: start the pause and draw the next
+// waypoint and speed from the simulator RNG.
+func (m *RandomWaypoint) CommitArrival(n *Network, node *Node) {
+	node.pauseTo = n.Sim().Now() + m.Pause
+	m.pick(n, node)
 }
 
 // Static is a mobility model that never moves nodes. Useful for pinning
@@ -125,6 +164,17 @@ type Mobility struct {
 	tick   time.Duration
 	event  *Event
 	active bool
+
+	// two-phase tick buffers, reused across ticks.
+	resolved []*Node
+	plans    []stepPlan
+}
+
+// stepPlan is one node's phase-1 output, committed in phase 2.
+type stepPlan struct {
+	next    Position
+	moved   bool
+	arrived bool
 }
 
 // StartMobility begins moving the given nodes under model every tick of
@@ -148,16 +198,56 @@ func (m *Mobility) schedule() {
 		if !m.active {
 			return
 		}
-		for _, id := range m.nodes {
-			if node := m.net.Node(id); node != nil && node.Up {
-				m.model.Step(m.net, node, m.tick)
-				// Keep the spatial index in step and advance the topology
-				// epoch for any node the model actually moved.
-				m.net.nodeMoved(node)
+		if p, ok := m.model.(Planner); ok && m.net.workers > 1 {
+			m.stepTwoPhase(p)
+		} else {
+			for _, id := range m.nodes {
+				if node := m.net.Node(id); node != nil && node.Up {
+					m.model.Step(m.net, node, m.tick)
+					// Keep the spatial index in step and advance the topology
+					// epoch for any node the model actually moved.
+					m.net.nodeMoved(node)
+				}
 			}
 		}
 		m.schedule()
 	})
+}
+
+// stepTwoPhase is one parallel mobility tick. Phase 1 plans every node's
+// movement across the worker pool, touching nothing shared; phase 2 commits
+// positions, spatial re-indexing and the model's arrival RNG draws
+// serially, in the same node order the serial loop uses — so trajectories,
+// epochs and the RNG stream are bit-identical to the serial engine.
+func (m *Mobility) stepTwoPhase(model Planner) {
+	// Resolve the node set fresh each tick, matching the serial loop's
+	// per-tick lookups (down nodes skip the tick; unknown IDs are ignored).
+	m.resolved = m.resolved[:0]
+	for _, id := range m.nodes {
+		if node := m.net.Node(id); node != nil && node.Up {
+			m.resolved = append(m.resolved, node)
+		}
+	}
+	if cap(m.plans) < len(m.resolved) {
+		m.plans = make([]stepPlan, len(m.resolved))
+	}
+	plans := m.plans[:len(m.resolved)]
+	now := m.net.Sim().Now()
+	runSharded(len(m.resolved), m.net.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			next, moved, arrived := model.PlanStep(m.resolved[i], now, m.tick)
+			plans[i] = stepPlan{next: next, moved: moved, arrived: arrived}
+		}
+	})
+	for i, node := range m.resolved {
+		if plans[i].moved {
+			node.Pos = plans[i].next
+		}
+		if plans[i].arrived {
+			model.CommitArrival(m.net, node)
+		}
+		m.net.nodeMoved(node)
+	}
 }
 
 // Stop halts movement. Safe to call more than once.

@@ -166,6 +166,13 @@ type Network struct {
 	// invalidates every per-node cached neighbor set.
 	epoch   uint64
 	scratch []*Node // reusable candidate buffer for grid queries
+	// workers sizes the two-phase tick worker pool (see parallel.go);
+	// 1 keeps everything on the event-loop goroutine.
+	workers int
+	// epochMisses counts neighbor-cache misses at the current epoch; a
+	// burst of misses (a beacon round querying the whole field) triggers a
+	// parallel warm of every cache when workers > 1.
+	epochMisses int
 	// DropHandler, when set, observes messages lost to link loss.
 	DropHandler func(from, to string, bytes int)
 }
@@ -173,11 +180,12 @@ type Network struct {
 // NewNetwork returns an empty network driven by sim.
 func NewNetwork(sim *Sim) *Network {
 	return &Network{
-		sim:   sim,
-		nodes: make(map[string]*Node),
-		grid:  newGrid(),
-		cuts:  make(map[[2]string]bool),
-		epoch: 1,
+		sim:     sim,
+		nodes:   make(map[string]*Node),
+		grid:    newGrid(),
+		cuts:    make(map[[2]string]bool),
+		epoch:   1,
+		workers: 1,
 	}
 }
 
@@ -187,7 +195,10 @@ func NewNetwork(sim *Sim) *Network {
 // topology churn).
 func (n *Network) TopologyEpoch() uint64 { return n.epoch }
 
-func (n *Network) bumpEpoch() { n.epoch++ }
+func (n *Network) bumpEpoch() {
+	n.epoch++
+	n.epochMisses = 0
+}
 
 // Sim returns the driving simulator.
 func (n *Network) Sim() *Sim { return n.sim }
@@ -360,19 +371,32 @@ func (n *Network) neighborsOf(id string) []string {
 	if node.nbrEpoch == n.epoch {
 		return node.nbrCache
 	}
-	node.nbrCache = n.computeNeighbors(node)
+	if n.workers > 1 {
+		// A burst of same-epoch misses means the whole field is being
+		// queried (a beacon round): fill every cache at once across the
+		// worker pool instead of one miss at a time. Purely a cache fill —
+		// results are identical either way.
+		n.epochMisses++
+		if n.epochMisses >= n.warmThreshold() {
+			n.warmNeighborCaches()
+			return node.nbrCache
+		}
+	}
+	node.nbrCache, n.scratch = n.computeNeighbors(node, n.scratch)
 	node.nbrEpoch = n.epoch
 	return node.nbrCache
 }
 
 // computeNeighbors gathers candidates from the infra set and the grid ring
 // around node, filters them through exact connectivity, and resolves the
-// result to insertion order.
-func (n *Network) computeNeighbors(node *Node) []string {
+// result to insertion order. scratch is the caller's reusable candidate
+// buffer (per-worker during a parallel warm); the possibly-grown buffer is
+// returned for reuse.
+func (n *Network) computeNeighbors(node *Node, scratch []*Node) ([]string, []*Node) {
 	if !node.Up {
-		return nil
+		return nil, scratch
 	}
-	cand := n.scratch[:0]
+	cand := scratch[:0]
 	if node.infra {
 		// An infrastructure node reaches every up node; candidates are all.
 		cand = append(cand, n.list...)
@@ -401,15 +425,14 @@ func (n *Network) computeNeighbors(node *Node) []string {
 	// Grid cells yield nodes in index order, not insertion order; resolve
 	// to insertion order so RNG draws and deliveries stay deterministic.
 	sort.Slice(cand, func(i, j int) bool { return cand[i].orderIdx < cand[j].orderIdx })
-	n.scratch = cand[:0] // retain the (possibly grown) buffer
 	if k == 0 {
-		return nil
+		return nil, cand[:0]
 	}
 	out := make([]string, k)
 	for i, other := range cand {
 		out[i] = other.ID
 	}
-	return out
+	return out, cand[:0] // hand back the (possibly grown) buffer
 }
 
 // Reachable reports whether a path of connected links exists from a to b.

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel half of the two-phase tick pipeline.
+//
+// The event loop itself stays single-goroutine: handlers run serially and
+// may touch anything. What goes parallel is the bulk per-tick geometry work
+// that dominates wall-clock at thousands of nodes — mobility integration
+// (phase 1 of a Mobility tick, see mobility.go) and neighbor-set
+// recomputation after a topology change (the warm pass below). Both follow
+// the same discipline:
+//
+//   - phase 1 is pure: workers read a topology snapshot nobody mutates and
+//     write only state owned by their shard (per-node plan slots, per-node
+//     caches), never the RNG;
+//   - phase 2 commits mutations and performs every RNG draw serially, in
+//     canonical node order, on the event-loop goroutine.
+//
+// Because the RNG stream and every commit happen in exactly the order the
+// serial engine uses, a given seed produces bit-identical results at any
+// worker count; only wall-clock changes.
+
+// AutoWorkers returns the worker count SetWorkers resolves 0 to: the
+// process's GOMAXPROCS.
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// SetWorkers sizes the network's tick worker pool. 1 (the default) keeps
+// every computation on the event-loop goroutine; values above 1 enable the
+// two-phase parallel tick pipeline; 0 or negative selects GOMAXPROCS.
+// Results are identical at any setting — only wall-clock changes.
+func (n *Network) SetWorkers(w int) {
+	if w <= 0 {
+		w = AutoWorkers()
+	}
+	n.workers = w
+}
+
+// Workers returns the current tick worker pool size.
+func (n *Network) Workers() int { return n.workers }
+
+// runSharded splits [0,count) into one contiguous span per worker and runs
+// fn on every span concurrently, returning when all spans are done. fn must
+// only write state owned by its span.
+func runSharded(count, workers int, fn func(lo, hi int)) {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		fn(0, count)
+		return
+	}
+	chunk := (count + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < count; lo += chunk {
+		hi := min(lo+chunk, count)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// Warm thresholds: a parallel warm of every cache pays off only when many
+// nodes will be queried at the same epoch (a beacon burst), not when a lone
+// query or a partition-local BFS misses. The threshold therefore scales
+// with the population so small route expansions never trigger a
+// network-wide warm.
+const (
+	warmMissBase = 32
+	warmMissDiv  = 32
+)
+
+func (n *Network) warmThreshold() int { return warmMissBase + len(n.list)/warmMissDiv }
+
+// warmNeighborCaches fills every node's neighbor cache at the current
+// epoch, sharded across the worker pool. It is purely a cache fill: each
+// entry is exactly what the lazy path in neighborsOf would compute, so
+// query results are unchanged at any worker count. Workers read the shared
+// topology snapshot (grid cells, positions, cuts — nothing mutates during
+// the fill) and write only their own nodes' cache fields.
+func (n *Network) warmNeighborCaches() {
+	epoch := n.epoch
+	runSharded(len(n.list), n.workers, func(lo, hi int) {
+		var scratch []*Node
+		for _, node := range n.list[lo:hi] {
+			if node.nbrEpoch == epoch {
+				continue
+			}
+			node.nbrCache, scratch = n.computeNeighbors(node, scratch)
+			node.nbrEpoch = epoch
+		}
+	})
+	n.epochMisses = 0
+}

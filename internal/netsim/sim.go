@@ -8,9 +8,15 @@
 // accounting. All experiment claims about traffic volume, airtime and
 // connectivity cost are measured against this substrate.
 //
-// Everything is single-goroutine: handlers run inside Run and must not block.
-// Determinism comes from the virtual clock plus a seeded PRNG; a given seed
-// always reproduces the same run.
+// The event loop is single-goroutine: handlers run inside Run and must not
+// block. Determinism comes from the virtual clock plus a seeded PRNG; a
+// given seed always reproduces the same run. At scale, the bulk per-tick
+// work — mobility integration and neighbor-set recomputation — runs as a
+// two-phase pipeline sharded across a worker pool (Network.SetWorkers):
+// phase 1 computes in parallel against a read-only topology snapshot,
+// phase 2 commits mutations and RNG draws serially in canonical node order,
+// so results stay bit-identical to the serial engine at any worker count.
+// See parallel.go.
 package netsim
 
 import (

@@ -139,6 +139,30 @@ func (p Deliveries) Collect(_ *World, t *metrics.Table) {
 	}
 }
 
+// Fetches reports code-on-demand rollout progress for a FetchWave: how much
+// of the population has the unit, and the median time to get it.
+type Fetches struct {
+	Of *FetchWave
+	// Prefix labels the rows; default "update".
+	Prefix string
+}
+
+// Collect implements Probe.
+func (p Fetches) Collect(_ *World, t *metrics.Table) {
+	prefix := p.Prefix
+	if prefix == "" {
+		prefix = "update"
+	}
+	s := &p.Of.Stats
+	t.AddRow(prefix+"s fetched", fmt.Sprintf("%d/%d", s.Fetched, s.Clients))
+	if s.Done.N() > 0 {
+		t.AddRow(prefix+" median fetch s",
+			fmt.Sprintf("%.1f", s.Done.Median()-s.Start))
+	} else {
+		t.AddRow(prefix+" median fetch s", "-")
+	}
+}
+
 // NetTraffic reports whole-network message and byte totals.
 type NetTraffic struct{}
 

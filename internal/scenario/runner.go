@@ -3,9 +3,33 @@ package scenario
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"logmob/internal/metrics"
+	"logmob/internal/netsim"
 )
+
+// defaultWorkers is the tick worker pool size worlds start with when their
+// Spec does not set Workers explicitly. 1 (serial) by default; the
+// experiments CLI raises it. Atomic so a harness can flip it around runs
+// that themselves execute replicates in parallel.
+var defaultWorkers atomic.Int32
+
+func init() { defaultWorkers.Store(1) }
+
+// SetDefaultWorkers sets the tick worker pool size newly built worlds
+// inherit: 1 keeps the serial engine, values above 1 enable netsim's
+// two-phase parallel tick, and 0 or negative selects GOMAXPROCS. Per-seed
+// results are bit-identical at any setting; only wall-clock changes.
+func SetDefaultWorkers(w int) {
+	if w <= 0 {
+		w = netsim.AutoWorkers()
+	}
+	defaultWorkers.Store(int32(w))
+}
+
+// DefaultWorkers returns the worker count newly built worlds inherit.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
 
 // RunFunc produces one replicate's result for a seed. Each invocation must
 // build its own world (one Sim per seed), so replicates are independent and

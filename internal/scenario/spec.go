@@ -146,6 +146,11 @@ type Spec struct {
 	Probes []Probe
 	// TableTitle titles the probe summary table.
 	TableTitle string
+	// Workers sizes the simulator's two-phase tick worker pool: 0 inherits
+	// the package default (SetDefaultWorkers), negative selects GOMAXPROCS,
+	// and values >= 1 are explicit. Per-seed results are bit-identical at
+	// any setting — workers only change wall-clock.
+	Workers int
 }
 
 // Compile builds the world a Spec describes for one seed: hosts, platforms,
@@ -153,6 +158,9 @@ type Spec struct {
 func (s *Spec) Compile(seed int64) *World {
 	w := NewWorld(seed)
 	w.Field = s.Field
+	if s.Workers != 0 {
+		w.Net.SetWorkers(s.Workers) // negative resolves to GOMAXPROCS
+	}
 	for pi := range s.Populations {
 		p := &s.Populations[pi]
 		count := p.Count

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"logmob/internal/agent"
 	"logmob/internal/lmu"
@@ -110,6 +112,91 @@ func (f FetchRun) Start(w *World) {
 	})
 }
 
+// FetchWave is Code On Demand at population scale: every member of Pop
+// fetches Unit from whichever member of ServerPop is currently nearest, and
+// runs Entry once locally on success. Failed attempts (the node is out of
+// range, or the reply times out) retry every Retry, so mobile nodes pick
+// the update up as they roam past a server — an app update rolling out
+// through a city.
+type FetchWave struct {
+	// Pop is the fetching population; ServerPop hosts the published unit.
+	Pop, ServerPop string
+	Unit           UnitFunc
+	// Entry, if non-empty, is run locally once after a successful fetch.
+	Entry string
+	Args  []int64
+	// Retry is the per-node retry interval (default 15s of virtual time).
+	Retry time.Duration
+
+	// Stats is filled in while the scenario runs; point a Fetches probe at
+	// the same FetchWave value (fields are only read after the run).
+	Stats FetchWaveStats
+}
+
+// FetchWaveStats records rollout progress for probes.
+type FetchWaveStats struct {
+	// Start is the virtual time the wave launched, in seconds.
+	Start float64
+	// Clients is the fetching population size.
+	Clients int
+	// Fetched counts members that completed the fetch.
+	Fetched int
+	// Done observes fetch completion times, in seconds of virtual time.
+	Done metrics.Series
+}
+
+// Start implements Workload.
+func (f *FetchWave) Start(w *World) {
+	unit := f.Unit(w)
+	servers := w.Pops[f.ServerPop]
+	if len(servers) == 0 {
+		panic(fmt.Sprintf("scenario: FetchWave server population %q is empty or unknown", f.ServerPop))
+	}
+	clients := w.Pops[f.Pop]
+	if len(clients) == 0 {
+		panic(fmt.Sprintf("scenario: FetchWave population %q is empty or unknown", f.Pop))
+	}
+	for _, s := range servers {
+		if err := w.Hosts[s].Publish(unit); err != nil {
+			panic(err)
+		}
+	}
+	retry := f.Retry
+	if retry <= 0 {
+		retry = 15 * time.Second
+	}
+	// Reset, not accumulate: the same FetchWave value may be started once
+	// per seed when a Spec is reused across runs.
+	f.Stats = FetchWaveStats{Start: w.Sim.Now().Seconds(), Clients: len(clients)}
+	for _, name := range clients {
+		h := w.Hosts[name]
+		node := w.Net.Node(name)
+		var attempt func()
+		attempt = func() {
+			// Aim at the currently nearest server; the node may have roamed
+			// since the last attempt.
+			best, bestD := "", math.Inf(1)
+			for _, s := range servers {
+				if d := w.Net.Node(s).Pos.Dist(node.Pos); d < bestD {
+					best, bestD = s, d
+				}
+			}
+			h.Fetch(best, unit.Manifest.Name, "", func(u *lmu.Unit, err error) {
+				if err != nil {
+					w.Sim.Schedule(retry, attempt)
+					return
+				}
+				f.Stats.Fetched++
+				f.Stats.Done.Observe(w.Sim.Now().Seconds())
+				if f.Entry != "" {
+					_, _ = h.RunComponent(u.Manifest.Name, f.Entry, f.Args...)
+				}
+			})
+		}
+		attempt()
+	}
+}
+
 // SpawnAgent is the Mobile Agent workload: launch one agent on Host's
 // platform, either from a raw program + data space or from a pre-built unit.
 type SpawnAgent struct {
@@ -182,7 +269,9 @@ type CourierStats struct {
 
 // Start implements Workload.
 func (c *Couriers) Start(w *World) {
-	c.Stats.DeliveredBy = make(map[string]bool)
+	// Reset, not accumulate: the same Couriers value may be started once
+	// per seed when a Spec is reused across runs.
+	c.Stats = CourierStats{DeliveredBy: make(map[string]bool)}
 	targets := w.Pops[c.TargetPop]
 	sources := w.Pops[c.SourcePop]
 	if len(targets) == 0 {

@@ -61,6 +61,7 @@ type World struct {
 func NewWorld(seed int64) *World {
 	s := netsim.NewSim(seed)
 	n := netsim.NewNetwork(s)
+	n.SetWorkers(DefaultWorkers())
 	id := security.MustNewIdentity("publisher")
 	trust := security.NewTrustStore()
 	trust.TrustIdentity(id)

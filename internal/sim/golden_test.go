@@ -10,10 +10,14 @@ import (
 
 var updateGoldens = flag.Bool("update", false, "rewrite golden files from the current implementation")
 
-// TestPortedExperimentGoldens pins the default-seed rendered output of the
-// experiments ported onto the declarative scenario API. The goldens were
-// generated from the pre-port hand-wired implementations; the ported specs
-// must reproduce them byte-identically.
+// TestPortedExperimentGoldens pins the default-seed rendered output of
+// every deterministic experiment family. The T1/T5/T11 goldens were
+// generated from the pre-port hand-wired implementations and must stay
+// byte-identical across refactors; T2/T3/T6/A3 pin the remaining families
+// so engine work (such as the parallel tick port) is caught by a byte diff
+// on every family, not just three. T8 and T10 have no goldens: they report
+// host wall-clock measurements. T4/T7/T9/A1/A2 share their world-building
+// code with pinned families.
 func TestPortedExperimentGoldens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run in -short mode")
@@ -23,8 +27,12 @@ func TestPortedExperimentGoldens(t *testing.T) {
 		run func(seed int64) *Result
 	}{
 		{"T1", runT1},
+		{"T2", runT2},
+		{"T3", runT3},
 		{"T5", runT5},
+		{"T6", runT6},
 		{"T11", runT11},
+		{"A3", runA3},
 	}
 	for _, tc := range cases {
 		tc := tc

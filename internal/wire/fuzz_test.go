@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Fuzz value kinds, selected by script bytes. Keeping the set closed means
+// a corpus entry fully determines the decode/encode sequence.
+const (
+	opUint = iota
+	opInt
+	opBool
+	opByte
+	opFloat
+	opString
+	opBytes
+	opStringMap
+	opBytesMap
+	opStringSlice
+	opCount
+)
+
+// decodeScript decodes one value per op from r and returns them. A latched
+// reader error reports ok=false.
+func decodeScript(r *Reader, ops []byte) (vals []any, ok bool) {
+	for _, op := range ops {
+		var v any
+		switch op % opCount {
+		case opUint:
+			v = r.Uint()
+		case opInt:
+			v = r.Int()
+		case opBool:
+			v = r.Bool()
+		case opByte:
+			v = r.Byte()
+		case opFloat:
+			v = r.Float()
+		case opString:
+			v = r.String()
+		case opBytes:
+			v = r.Bytes()
+		case opStringMap:
+			v = r.StringMap()
+		case opBytesMap:
+			v = r.BytesMap()
+		case opStringSlice:
+			v = r.StringSlice()
+		}
+		if r.Err() != nil {
+			return nil, false
+		}
+		vals = append(vals, v)
+	}
+	return vals, true
+}
+
+// encodeScript encodes vals back with the matching Put calls.
+func encodeScript(ops []byte, vals []any) []byte {
+	var b Buffer
+	for i, op := range ops {
+		switch op % opCount {
+		case opUint:
+			b.PutUint(vals[i].(uint64))
+		case opInt:
+			b.PutInt(vals[i].(int64))
+		case opBool:
+			b.PutBool(vals[i].(bool))
+		case opByte:
+			b.PutByte(vals[i].(byte))
+		case opFloat:
+			b.PutFloat(vals[i].(float64))
+		case opString:
+			b.PutString(vals[i].(string))
+		case opBytes:
+			b.PutBytes(vals[i].([]byte))
+		case opStringMap:
+			b.PutStringMap(vals[i].(map[string]string))
+		case opBytesMap:
+			b.PutBytesMap(vals[i].(map[string][]byte))
+		case opStringSlice:
+			b.PutStringSlice(vals[i].([]string))
+		}
+	}
+	return b.Bytes()
+}
+
+// FuzzWireRoundTrip drives the decoder over arbitrary bytes (it must never
+// panic — truncated and corrupt inputs latch an error instead) and, for
+// inputs that decode cleanly, checks the codec's round-trip identity:
+// encode(decode(x)) re-decodes to the same values and re-encodes to the
+// identical bytes (one decode+encode normalises any non-minimal varints;
+// after that the encoding is a fixed point).
+func FuzzWireRoundTrip(f *testing.F) {
+	// Seed corpus: one entry per value kind plus a mixed frame. Layout:
+	// script length byte, script bytes, then the encoded payload.
+	mk := func(ops []byte, fill func(*Buffer)) []byte {
+		var b Buffer
+		fill(&b)
+		return append(append([]byte{byte(len(ops))}, ops...), b.Bytes()...)
+	}
+	f.Add(mk([]byte{opUint, opInt}, func(b *Buffer) { b.PutUint(300); b.PutInt(-7) }))
+	f.Add(mk([]byte{opBool, opByte, opFloat}, func(b *Buffer) { b.PutBool(true); b.PutByte(0xfe); b.PutFloat(3.25) }))
+	f.Add(mk([]byte{opString, opBytes}, func(b *Buffer) { b.PutString("beacon"); b.PutBytes([]byte{1, 2, 3}) }))
+	f.Add(mk([]byte{opStringMap}, func(b *Buffer) { b.PutStringMap(map[string]string{"svc": "festival/info", "v": "2"}) }))
+	f.Add(mk([]byte{opBytesMap}, func(b *Buffer) { b.PutBytesMap(map[string][]byte{"k": {9}}) }))
+	f.Add(mk([]byte{opStringSlice}, func(b *Buffer) { b.PutStringSlice([]string{"a", "b", "c"}) }))
+	f.Add([]byte{3, opUint, opString, opFloat, 0x80}) // deliberately truncated
+	f.Add([]byte{1, opBytes, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		nops := int(data[0] % 17)
+		rest := data[1:]
+		if len(rest) < nops {
+			return
+		}
+		ops, payload := rest[:nops], rest[nops:]
+
+		// Arbitrary-input decode: must not panic; errors are fine.
+		vals, ok := decodeScript(NewReader(payload), ops)
+
+		// Frame layer on the same raw bytes: must not panic and must not
+		// fabricate data (a returned frame re-frames to a prefix-compatible
+		// stream).
+		if frame, err := ReadFrame(bytes.NewReader(payload)); err == nil {
+			var out bytes.Buffer
+			if _, werr := WriteFrame(&out, frame); werr != nil {
+				t.Fatalf("WriteFrame of just-read frame failed: %v", werr)
+			}
+			back, rerr := ReadFrame(bytes.NewReader(out.Bytes()))
+			if rerr != nil || !bytes.Equal(back, frame) {
+				t.Fatalf("frame round trip changed payload: %v / %q vs %q", rerr, back, frame)
+			}
+		} else if err != io.EOF && frame != nil {
+			t.Fatalf("ReadFrame returned both a frame and error %v", err)
+		}
+
+		if !ok {
+			return
+		}
+
+		// Round-trip identity on the value layer.
+		enc1 := encodeScript(ops, vals)
+		r2 := NewReader(enc1)
+		vals2, ok2 := decodeScript(r2, ops)
+		if !ok2 {
+			t.Fatalf("re-decode of canonical encoding failed: %v (ops=%v vals=%#v)", r2.Err(), ops, vals)
+		}
+		if err := r2.ExpectEOF(); err != nil {
+			t.Fatalf("canonical encoding has trailing bytes: %v", err)
+		}
+		enc2 := encodeScript(ops, vals2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode∘decode is not a fixed point:\nops  %v\nenc1 %x\nenc2 %x", ops, enc1, enc2)
+		}
+	})
+}

@@ -368,13 +368,17 @@ func ReadFrame(r io.ByteReader) ([]byte, error) {
 	if length > MaxFrameLen {
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, length)
 	}
-	payload := make([]byte, length)
-	for i := range payload {
+	// Grow with the bytes actually read instead of trusting the header: a
+	// corrupt or hostile 2-byte stream can claim a MaxFrameLen frame, and
+	// committing the full allocation before the first payload byte turns
+	// that into a 64 MiB allocation per bad frame.
+	payload := make([]byte, 0, min(length, 64<<10))
+	for i := uint64(0); i < length; i++ {
 		b, err := r.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("wire: read frame payload: %w", ErrTruncated)
 		}
-		payload[i] = b
+		payload = append(payload, b)
 	}
 	return payload, nil
 }

@@ -330,6 +330,10 @@ type (
 	AgentWorkload = scenario.SpawnAgent
 	// CourierWorkload launches a store-carry-forward courier fleet.
 	CourierWorkload = scenario.Couriers
+	// FetchWaveWorkload rolls a component out to a whole population (COD
+	// at city scale): each member fetches from the nearest server as it
+	// roams into range, retrying until it succeeds.
+	FetchWaveWorkload = scenario.FetchWave
 	// WorkloadFunc adapts a function to a ScenarioWorkload.
 	WorkloadFunc = scenario.Func
 )
@@ -346,6 +350,8 @@ type (
 	AgentHopsProbe = scenario.AgentHops
 	// DeliveriesProbe reports courier delivery statistics.
 	DeliveriesProbe = scenario.Deliveries
+	// FetchesProbe reports FetchWaveWorkload rollout progress.
+	FetchesProbe = scenario.Fetches
 	// NetTrafficProbe reports whole-network traffic totals.
 	NetTrafficProbe = scenario.NetTraffic
 	// ProbeFunc adapts a function to a ScenarioProbe.
@@ -366,6 +372,14 @@ func GreedyGeoCaps(w *World) func(*AgentPlatform, *Unit) []vm.HostFunc {
 // NewWorld returns an empty deterministic simulated world for a seed, for
 // imperative construction with World.AddHost.
 func NewWorld(seed int64) *World { return scenario.NewWorld(seed) }
+
+// SetDefaultWorkers sizes the tick worker pool newly built worlds inherit:
+// 1 keeps the serial engine, values above 1 shard each world's mobility and
+// neighbor recomputation across that many workers, 0 or negative selects
+// GOMAXPROCS. Per-seed results are bit-identical at any setting — workers
+// only change wall-clock. A Scenario can override per-spec via its Workers
+// field.
+func SetDefaultWorkers(w int) { scenario.SetDefaultWorkers(w) }
 
 // RunSpec compiles and runs a scenario for one seed, returning the compiled
 // world (for ad-hoc measurement) and the probe summary table (nil without
