@@ -47,6 +47,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "replicates to run concurrently")
 	workers := flag.Int("workers", 0, "tick worker pool per world (0 = GOMAXPROCS split across -parallel, 1 = serial engine)")
 	sweepFlag := flag.String("sweep", "", "parameter sweep, e.g. attendees=100,500,2000")
+	lossFlag := flag.Float64("loss", -1, "override the 'loss' parameter of experiments that expose it (e.g. T13 drop probability)")
+	churnFlag := flag.Float64("churn", -1, "override the 'churn' parameter of experiments that expose it (e.g. T13 per-tick crash probability)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
@@ -113,6 +115,16 @@ func main() {
 		}
 	}
 
+	// Adversity knobs: -loss/-churn override the matching parameter on
+	// every selected experiment that exposes it (others run unchanged).
+	overrides := map[string]float64{}
+	if *lossFlag >= 0 {
+		overrides["loss"] = *lossFlag
+	}
+	if *churnFlag >= 0 {
+		overrides["churn"] = *churnFlag
+	}
+
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatalf("%v", err)
@@ -126,14 +138,32 @@ func main() {
 		if sweepParam != "" {
 			points = sweepValues
 		}
+		// Restrict the adversity overrides to parameters this experiment
+		// actually exposes.
+		eOverrides := map[string]float64{}
+		for name, v := range overrides {
+			if _, ok := e.Params[name]; ok {
+				eOverrides[name] = v
+			}
+		}
 		for _, v := range points {
 			fn := e.Run
 			label := ""
-			if sweepParam != "" {
+			if sweepParam != "" || len(eOverrides) > 0 {
 				v := v
+				e := e
 				fn = func(s int64) *sim.Result {
-					return e.RunWith(s, map[string]float64{sweepParam: v})
+					params := map[string]float64{}
+					for name, ov := range eOverrides {
+						params[name] = ov
+					}
+					if sweepParam != "" {
+						params[sweepParam] = v
+					}
+					return e.RunWith(s, params)
 				}
+			}
+			if sweepParam != "" {
 				label = fmt.Sprintf("%s=%g", sweepParam, v)
 			}
 			if !*jsonOut {

@@ -25,6 +25,17 @@ type Beacon struct {
 	Heard int64
 	// Sent counts beacon broadcasts performed.
 	Sent int64
+
+	// MissEvict, when positive, evicts every cached ad from a neighbor once
+	// MissEvict beacon intervals pass without hearing from it — the cached
+	// view of a silent (lost, churned, partitioned-away) neighbor decays at
+	// miss speed instead of lingering until each ad's TTL. 0 (the default)
+	// disables miss tracking entirely and changes nothing. Set it before
+	// the first beacons are heard; providers heard earlier are not tracked.
+	MissEvict int
+	// Evicted counts ads removed by miss eviction.
+	Evicted   int64
+	lastHeard map[string]time.Duration // provider -> time of last beacon
 }
 
 var _ Finder = (*Beacon)(nil)
@@ -137,12 +148,36 @@ func (b *Beacon) handle(from string, payload []byte) {
 	}
 	if r.Err() == nil {
 		b.Heard++
+		if b.MissEvict > 0 {
+			if b.lastHeard == nil {
+				b.lastHeard = make(map[string]time.Duration)
+			}
+			b.lastHeard[from] = b.sched.Now()
+		}
+	}
+}
+
+// evictMissing drops every cached ad from providers silent for more than
+// MissEvict beacon intervals. Beacons are one-hop, so the transport sender
+// is the provider whose ads decay.
+func (b *Beacon) evictMissing() {
+	if b.MissEvict <= 0 || len(b.lastHeard) == 0 {
+		return
+	}
+	now := b.sched.Now()
+	deadline := time.Duration(b.MissEvict) * b.interval
+	for provider, heard := range b.lastHeard {
+		if now-heard > deadline {
+			b.Evicted += int64(b.cache.dropProvider(provider))
+			delete(b.lastHeard, provider)
+		}
 	}
 }
 
 // Find answers immediately from the local cache plus the node's own
 // advertisements; no traffic is generated.
 func (b *Beacon) Find(q Query, cb func(ads []Ad)) {
+	b.evictMissing()
 	ads := b.cache.find(q)
 	for _, ad := range b.local {
 		if q.Matches(ad) {
@@ -154,4 +189,7 @@ func (b *Beacon) Find(q Query, cb func(ads []Ad)) {
 }
 
 // CacheSize returns the number of live cached remote advertisements.
-func (b *Beacon) CacheSize() int { return b.cache.size() }
+func (b *Beacon) CacheSize() int {
+	b.evictMissing()
+	return b.cache.size()
+}

@@ -112,6 +112,20 @@ func (t *adTable) drop(provider, service string) {
 	delete(t.leases, provider+"\x00"+service)
 }
 
+// dropProvider removes every lease held for one provider, returning how
+// many were dropped (beacon miss-eviction).
+func (t *adTable) dropProvider(provider string) int {
+	prefix := provider + "\x00"
+	n := 0
+	for key := range t.leases {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(t.leases, key)
+			n++
+		}
+	}
+	return n
+}
+
 // find returns matching, unexpired ads and prunes expired ones.
 func (t *adTable) find(q Query) []Ad {
 	now := t.now()

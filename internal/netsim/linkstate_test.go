@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the link-state property suite: CutLink / RestoreLink / SetUp
+// (and partition groups) driven through random op sequences, with three
+// properties checked against the retained linear oracle after every op:
+//
+//   - agreement: Connected matches connectedLinear for every pair;
+//   - symmetry: Connected(a,b) == Connected(b,a), and cutting (a,b) is
+//     the same op as cutting (b,a);
+//   - idempotence: re-applying an op changes neither connectivity nor the
+//     topology epoch (no-ops must not invalidate caches).
+
+// connMatrix snapshots Connected over every ordered pair.
+func connMatrix(net *Network, names []string) map[[2]string]bool {
+	m := make(map[[2]string]bool, len(names)*len(names))
+	for _, a := range names {
+		for _, b := range names {
+			m[[2]string{a, b}] = net.Connected(a, b)
+		}
+	}
+	return m
+}
+
+// checkLinkState asserts agreement with the oracle and symmetry for every
+// pair.
+func checkLinkState(t *testing.T, net *Network, names []string, stage string) {
+	t.Helper()
+	for _, a := range names {
+		for _, b := range names {
+			got := net.Connected(a, b)
+			if want := net.connectedLinear(a, b); got != want {
+				t.Fatalf("%s: Connected(%s,%s)=%v, oracle %v", stage, a, b, got, want)
+			}
+			if rev := net.Connected(b, a); got != rev {
+				t.Fatalf("%s: asymmetric connectivity %s-%s: %v vs %v", stage, a, b, got, rev)
+			}
+		}
+	}
+}
+
+// linkOp is one randomized mutation; applyRev, when set, is the same op
+// with swapped operands (for the symmetry property).
+type linkOp struct {
+	name            string
+	apply, applyRev func(net *Network)
+}
+
+func randomLinkOp(rng *rand.Rand, names []string) linkOp {
+	a := names[rng.Intn(len(names))]
+	b := names[rng.Intn(len(names))]
+	switch rng.Intn(4) {
+	case 0:
+		return linkOp{
+			name:     fmt.Sprintf("CutLink(%s,%s)", a, b),
+			apply:    func(n *Network) { n.CutLink(a, b) },
+			applyRev: func(n *Network) { n.CutLink(b, a) },
+		}
+	case 1:
+		return linkOp{
+			name:     fmt.Sprintf("RestoreLink(%s,%s)", a, b),
+			apply:    func(n *Network) { n.RestoreLink(a, b) },
+			applyRev: func(n *Network) { n.RestoreLink(b, a) },
+		}
+	case 2:
+		up := rng.Intn(2) == 0
+		return linkOp{
+			name:  fmt.Sprintf("SetUp(%s,%v)", a, up),
+			apply: func(n *Network) { n.SetUp(a, up) },
+		}
+	default:
+		g := rng.Intn(3)
+		return linkOp{
+			name:  fmt.Sprintf("SetPartitionGroup(%s,%d)", a, g),
+			apply: func(n *Network) { n.SetPartitionGroup(a, g) },
+		}
+	}
+}
+
+// TestLinkStateProperties drives random op sequences over random mixed
+// topologies, checking oracle agreement, symmetry, idempotence (second
+// application is a connectivity and epoch no-op) and cut/restore inversion.
+func TestLinkStateProperties(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(trial + 900)
+		sim := NewSim(seed)
+		net := NewNetwork(sim)
+		rng := rand.New(rand.NewSource(seed))
+		names := randomField(net, rng, 14+rng.Intn(10), 250)
+		checkLinkState(t, net, names, fmt.Sprintf("trial %d initial", trial))
+
+		for step := 0; step < 60; step++ {
+			op := randomLinkOp(rng, names)
+			stage := fmt.Sprintf("trial %d step %d %s", trial, step, op.name)
+
+			op.apply(net)
+			checkLinkState(t, net, names, stage)
+			after := connMatrix(net, names)
+			epoch := net.TopologyEpoch()
+
+			// Idempotence: the same op again is a no-op for connectivity
+			// and must not advance the epoch (no spurious cache floods).
+			op.apply(net)
+			if net.TopologyEpoch() != epoch {
+				t.Fatalf("%s: re-applying advanced the epoch %d -> %d", stage, epoch, net.TopologyEpoch())
+			}
+			if got := connMatrix(net, names); !equalMatrix(got, after) {
+				t.Fatalf("%s: re-applying changed connectivity", stage)
+			}
+
+			// Operand symmetry for the link ops: (b,a) is the same op.
+			if op.applyRev != nil {
+				op.applyRev(net)
+				if net.TopologyEpoch() != epoch {
+					t.Fatalf("%s: swapped-operand op advanced the epoch", stage)
+				}
+				if got := connMatrix(net, names); !equalMatrix(got, after) {
+					t.Fatalf("%s: swapped-operand op changed connectivity", stage)
+				}
+			}
+		}
+	}
+}
+
+// TestCutRestoreRoundTrip checks RestoreLink ∘ CutLink is the identity on
+// connectivity, pair by pair, including with partitions active.
+func TestCutRestoreRoundTrip(t *testing.T) {
+	seed := int64(77)
+	sim := NewSim(seed)
+	net := NewNetwork(sim)
+	rng := rand.New(rand.NewSource(seed))
+	names := randomField(net, rng, 18, 220)
+	for _, id := range names[:6] {
+		net.SetPartitionGroup(id, 1+rng.Intn(2))
+	}
+	before := connMatrix(net, names)
+	for i := 0; i < 40; i++ {
+		a, b := names[rng.Intn(len(names))], names[rng.Intn(len(names))]
+		net.CutLink(a, b)
+		if net.Connected(a, b) || net.Connected(b, a) {
+			t.Fatalf("cut %s-%s still connected", a, b)
+		}
+		checkLinkState(t, net, names, fmt.Sprintf("cut %d", i))
+		net.RestoreLink(b, a) // restore with swapped operands: same link
+		if got := connMatrix(net, names); !equalMatrix(got, before) {
+			t.Fatalf("restore did not invert cut %s-%s", a, b)
+		}
+	}
+}
+
+func equalMatrix(a, b map[[2]string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

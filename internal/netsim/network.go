@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -175,6 +176,17 @@ type Network struct {
 	epochMisses int
 	// DropHandler, when set, observes messages lost to link loss.
 	DropHandler func(from, to string, bytes int)
+
+	// Adversity layer (see faults.go). All zero-valued when no faults are
+	// injected, in which case none of it is consulted on the hot paths and
+	// the fault RNG is never drawn.
+	faultRNG   *rand.Rand
+	impDefault Impairment
+	impNode    map[string]Impairment
+	impLink    map[[2]string]Impairment
+	impaired   bool
+	parts      map[string]int
+	faultStats FaultStats
 }
 
 // NewNetwork returns an empty network driven by sim.
@@ -326,6 +338,9 @@ func (n *Network) connectedNodes(na, nb *Node) bool {
 		return false
 	}
 	if len(n.cuts) > 0 && n.cuts[linkKey(na.ID, nb.ID)] {
+		return false
+	}
+	if len(n.parts) > 0 && n.partitionedPair(na, nb) {
 		return false
 	}
 	// Infrastructure nodes reach every other up node anywhere — other
@@ -492,6 +507,9 @@ func (n *Network) connectedLinear(a, b string) bool {
 	if n.cuts[linkKey(a, b)] {
 		return false
 	}
+	if len(n.parts) > 0 && n.partitionedPair(na, nb) {
+		return false
+	}
 	if na.Class.Infrastructure && nb.Class.Infrastructure {
 		return true
 	}
@@ -614,6 +632,17 @@ func (n *Network) transmit(src, dst *Node, payload []byte) {
 func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 	size := len(payload)
 	class := bottleneck(src.Class, dst.Class)
+	// Resolve the adversity layer first: bandwidth degradation slows the
+	// charged serialisation time, not just the delivery schedule.
+	var imp Impairment
+	impaired := false
+	if n.impaired {
+		if imp, impaired = n.impairmentFor(src, dst); impaired {
+			if f := imp.BandwidthFactor; f > 0 && f < 1 {
+				class.BandwidthBps *= f
+			}
+		}
+	}
 	t := transferTime(class, size)
 	src.usage.BytesSent += int64(size)
 	src.usage.MsgsSent++
@@ -628,13 +657,25 @@ func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 		}
 		return
 	}
+	var jitter time.Duration
+	if impaired {
+		dropped, extra := n.applyImpairment(imp)
+		if dropped {
+			src.usage.MsgsLost++
+			if n.DropHandler != nil {
+				n.DropHandler(src.ID, dst.ID, size)
+			}
+			return
+		}
+		jitter = extra
+	}
 	data := payload
 	if !shared {
 		data = make([]byte, size)
 		copy(data, payload)
 	}
 	fromID, toID := src.ID, dst.ID
-	n.sim.Schedule(t, func() {
+	n.sim.Schedule(t+jitter, func() {
 		d := n.nodes[toID]
 		if d == nil || !d.Up || d.handler == nil {
 			return
@@ -710,6 +751,15 @@ func (n *Network) forwardAlong(path []string, payload []byte) {
 	// Relay hop: charge the link, then continue after the transfer delay.
 	size := len(payload)
 	hop := bottleneck(src.Class, dst.Class)
+	var imp Impairment
+	impaired := false
+	if n.impaired {
+		if imp, impaired = n.impairmentFor(src, dst); impaired {
+			if f := imp.BandwidthFactor; f > 0 && f < 1 {
+				hop.BandwidthBps *= f
+			}
+		}
+	}
 	t := transferTime(hop, size)
 	src.usage.BytesSent += int64(size)
 	src.usage.MsgsSent++
@@ -720,9 +770,18 @@ func (n *Network) forwardAlong(path []string, payload []byte) {
 		src.usage.MsgsLost++
 		return
 	}
+	var jitter time.Duration
+	if impaired {
+		dropped, extra := n.applyImpairment(imp)
+		if dropped {
+			src.usage.MsgsLost++
+			return
+		}
+		jitter = extra
+	}
 	rest := make([]string, len(path)-1)
 	copy(rest, path[1:])
-	n.sim.Schedule(t, func() {
+	n.sim.Schedule(t+jitter, func() {
 		relay := n.nodes[rest[0]]
 		if relay == nil || !relay.Up {
 			return

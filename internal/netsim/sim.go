@@ -32,13 +32,18 @@ type Sim struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+	seed   int64
 }
 
 // NewSim returns a simulator whose PRNG is seeded with seed. Identical seeds
 // yield identical runs.
 func NewSim(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
+
+// Seed returns the seed the simulator was built with, so derived RNG
+// streams (e.g. the netsim fault RNG) stay reproducible per run.
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }

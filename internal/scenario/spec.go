@@ -151,6 +151,11 @@ type Spec struct {
 	// and values >= 1 are explicit. Per-seed results are bit-identical at
 	// any setting — workers only change wall-clock.
 	Workers int
+	// Faults is the adversity layer: link impairments, churn, timed
+	// partitions, ack/retry transport and beacon-miss eviction. The zero
+	// value is provably inert (fault-free runs are byte-identical with or
+	// without it); see Faults.
+	Faults Faults
 }
 
 // Compile builds the world a Spec describes for one seed: hosts, platforms,
@@ -161,6 +166,9 @@ func (s *Spec) Compile(seed int64) *World {
 	if s.Workers != 0 {
 		w.Net.SetWorkers(s.Workers) // negative resolves to GOMAXPROCS
 	}
+	// The ack/retry layer wraps endpoints as hosts are created, so it must
+	// be primed before the first population compiles.
+	s.Faults.retrySetup(w)
 	for pi := range s.Populations {
 		p := &s.Populations[pi]
 		count := p.Count
@@ -228,6 +236,9 @@ func (s *Spec) Compile(seed int64) *World {
 		}
 		w.Net.StartMobility(p.Mobility, tick, w.Pops[p.Name]...)
 	}
+	// The adversity layer wires last, over the fully built world. A zero
+	// Faults block compiles to nothing.
+	s.Faults.compile(w, seed, s)
 	return w
 }
 

@@ -53,6 +53,16 @@ type World struct {
 	// Records collects every agent that finished on a compiled population's
 	// platform, in completion order.
 	Records []agent.Record
+	// Reliables maps node name to its ack/retry transport layer, for
+	// worlds compiled with Faults.Retry enabled.
+	Reliables map[string]*transport.Reliable
+	// Churns holds the running churn schedules, one per Faults.Churn entry
+	// in declaration order; their Stats feed the Reliability probe.
+	Churns []*netsim.Churn
+
+	// retry configuration primed by Faults before hosts are built.
+	retryOn  bool
+	retryCfg transport.ReliableConfig
 }
 
 // NewWorld returns an empty deterministic world for the given seed: a
@@ -80,13 +90,23 @@ func NewWorld(seed int64) *World {
 }
 
 // AddHost creates a kernel host on a new node. Loss is disabled unless the
-// caller re-enables it via mutate; experiments about loss set it explicitly.
+// caller re-enables it via mutate; experiments about loss set it explicitly
+// (or declare a Faults block). In worlds compiled with Faults.Retry, the
+// endpoint is wrapped in an ack/retry layer recorded in Reliables.
 func (w *World) AddHost(name string, pos netsim.Position, class netsim.LinkClass, mutate func(*core.Config)) *core.Host {
 	class.Loss = 0
 	w.Net.AddNode(name, pos, class)
 	ep, err := w.Transport.Endpoint(name)
 	if err != nil {
 		panic(err) // nodes are added by the experiment itself; a clash is a bug
+	}
+	if w.retryOn {
+		rel := transport.NewReliable(ep, w.Sim, w.retryCfg)
+		if w.Reliables == nil {
+			w.Reliables = make(map[string]*transport.Reliable)
+		}
+		w.Reliables[name] = rel
+		ep = rel
 	}
 	cfg := core.Config{
 		Name: name, Endpoint: ep, Scheduler: w.Sim,

@@ -10,14 +10,39 @@ import (
 
 var updateGoldens = flag.Bool("update", false, "rewrite golden files from the current implementation")
 
+// checkGolden renders one experiment result and compares it byte-for-byte
+// against testdata/<name>.golden, rewriting the file under -update.
+func checkGolden(t *testing.T, name string, res *Result) {
+	t.Helper()
+	var sb strings.Builder
+	res.Render(&sb)
+	got := sb.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGoldens {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from golden\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
 // TestPortedExperimentGoldens pins the default-seed rendered output of
 // every deterministic experiment family. The T1/T5/T11 goldens were
 // generated from the pre-port hand-wired implementations and must stay
-// byte-identical across refactors; T2/T3/T6/A3 pin the remaining families
-// so engine work (such as the parallel tick port) is caught by a byte diff
-// on every family, not just three. T8 and T10 have no goldens: they report
-// host wall-clock measurements. T4/T7/T9/A1/A2 share their world-building
-// code with pinned families.
+// byte-identical across refactors; T2/T3/T6/T7/T9/A3 pin the remaining
+// families so engine work (the parallel tick port, the adversity layer) is
+// caught by a byte diff on every family, not just three. T8 and T10 have
+// no goldens: they report host wall-clock measurements. T4/A1/A2 share
+// their world-building code with pinned families. With every Spec.Faults
+// block zero-valued, these goldens double as the proof that the adversity
+// layer is inert when off.
 func TestPortedExperimentGoldens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run in -short mode")
@@ -31,6 +56,8 @@ func TestPortedExperimentGoldens(t *testing.T) {
 		{"T3", runT3},
 		{"T5", runT5},
 		{"T6", runT6},
+		{"T7", runT7},
+		{"T9", runT9},
 		{"T11", runT11},
 		{"A3", runA3},
 	}
@@ -38,24 +65,14 @@ func TestPortedExperimentGoldens(t *testing.T) {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
 			t.Parallel()
-			var sb strings.Builder
-			tc.run(1).Render(&sb)
-			got := sb.String()
-			path := filepath.Join("testdata", strings.ToLower(tc.id)+"_seed1.golden")
-			if *updateGoldens {
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update to generate): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("%s seed-1 output differs from pre-port golden\n--- got ---\n%s\n--- want ---\n%s",
-					tc.id, got, want)
-			}
+			checkGolden(t, strings.ToLower(tc.id)+"_seed1", tc.run(1))
 		})
 	}
+}
+
+// TestT13ShortGolden pins the shrunken blackout run byte-for-byte. Unlike
+// the full-size goldens it runs in -short mode too, so the CI race job
+// diffs the fault layer's output on every run, not just the long suite.
+func TestT13ShortGolden(t *testing.T) {
+	checkGolden(t, "t13_short_seed1", T13().RunWith(1, t13ShortParams))
 }

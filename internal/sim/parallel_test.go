@@ -27,6 +27,12 @@ var t12DiffParams = map[string]float64{"residents": 1200, "field": 1000}
 // is the same runDisaster world at five speeds (~90s per run), so one
 // configuration exercises the identical engine paths at a fraction of the
 // cost; T3 additionally sweeps the same family across densities in full.
+//
+// T13 joins the sweep at its full parameters, which puts the whole
+// adversity layer — impairment and churn draws from the fault RNG, timed
+// partition epochs, ack/retry timers — under the same byte-identical
+// contract; TestChaosWorkersDifferential additionally isolates each fault
+// axis (loss only, churn only, partition only).
 func TestWorkersDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"logmob/internal/app"
+	"logmob/internal/discovery"
+	"logmob/internal/lmu"
+	"logmob/internal/metrics"
+	"logmob/internal/netsim"
+	"logmob/internal/scenario"
+)
+
+// T13 parameters: the festival crowd of T11, shrunk to blackout-study size
+// and pushed through escalating adversity — link loss that ramps up
+// mid-run, node churn, and a partition that cuts the field in half and then
+// heals. All four mobile-code paradigms run simultaneously over the same
+// degraded crowd so their completion rates are directly comparable.
+const (
+	t13Stages    = 4
+	t13Warmup    = 30 * time.Second
+	t13BeaconIvl = 15 * time.Second
+	t13MsgSize   = 200
+	t13KitSize   = 2048 // survival-kit component shipped via COD
+	t13CSRounds  = 20   // request/reply rounds per CS client
+	t13SrcMin    = 150.0
+	t13SrcMax    = 350.0
+)
+
+// T13 is the blackout experiment: the chaos the paper's paradigms exist
+// for, made measurable. A festival field degrades on a schedule — base
+// loss, then escalated loss, then a mid-run partition straight through the
+// crowd that later heals — while attendees churn. Four workloads run at
+// once: Client/Server calls and Remote Evaluation from attendees camped
+// near the stages, a Code-On-Demand rollout of a survival-kit component to
+// the whole crowd, and Mobile-Agent couriers ferried across the partition.
+// The table reports each paradigm's completion rate plus the Reliability
+// probe's delivery/retry/repair accounting.
+func T13() Experiment {
+	return FromSpec("T13", "Blackout: four paradigms under loss, churn and partition",
+		`"mobile devices connect to networks in various locations and get `+
+			`disconnected from the network by physically moving outside the `+
+			`network coverage" — the paper's degraded-connectivity premise, made `+
+			`hostile on purpose: escalating loss, node churn and a healing `+
+			`partition, with all four mobility paradigms racing the blackout.`,
+		map[string]float64{
+			"attendees": 600,
+			"field":     900,
+			"range":     40,
+			"couriers":  8,
+			"loss":      0.15,
+			"churn":     0.02,
+			"duration":  240, // seconds of post-warmup run
+		},
+		t13Spec,
+		"expected shape: CS and REV hold up only while their stage stays reachable and degrade with loss; COD rollout stalls during the partition and resumes after the heal; store-carry-forward couriers degrade most gracefully — and the whole table is byte-identical per seed at any -workers count",
+	)
+}
+
+// t13Paradigms accumulates the bespoke CS/REV outcomes; the same value is
+// read by the probe after the run.
+type t13Paradigms struct {
+	csDone, csRounds   int
+	revDone, revTarget int
+}
+
+// t13Spec declares the blackout world for one parameter set.
+func t13Spec(p map[string]float64) *scenario.Spec {
+	attendees := int(p["attendees"])
+	field := p["field"]
+	radio := p["range"]
+	loss := p["loss"]
+	churn := p["churn"]
+	duration := time.Duration(math.Max(p["duration"], 30)) * time.Second
+
+	stagePos := make(scenario.PlacePoints, t13Stages)
+	for k := range stagePos {
+		stagePos[k] = netsim.Position{
+			X: field / 4 * float64(1+2*(k%2)),
+			Y: field / 4 * float64(1+2*(k/2)),
+		}
+	}
+
+	// The blackout schedule, in virtual time from world start: loss
+	// escalates twice; the partition wall splits the field down the middle
+	// for the central third of the run, then heals.
+	escalate1 := t13Warmup + duration/4
+	escalate2 := t13Warmup + duration/2
+	partitionAt := t13Warmup + duration/3
+	healAt := t13Warmup + 2*duration/3
+
+	faults := scenario.Faults{
+		Loss:        loss,
+		JitterTicks: 2, // up to 200ms of extra delay per message
+		Events: []scenario.FaultEvent{
+			{At: escalate1, Loss: math.Min(1.5*loss, 0.6), JitterTicks: 3},
+			{At: escalate2, Loss: math.Min(2.5*loss, 0.75), JitterTicks: 4},
+		},
+		Partitions: []scenario.PartitionFault{
+			{At: partitionAt, Heal: healAt, SplitX: field / 2},
+		},
+		Retry:           scenario.RetryFault{Budget: 3, Timeout: 2 * time.Second},
+		BeaconMissEvict: 3,
+	}
+	if churn > 0 {
+		faults.Churn = []scenario.ChurnFault{{
+			Pop: "a", Tick: 10 * time.Second, CrashProb: churn,
+			Downtime: 20 * time.Second, DowntimeJitterTicks: 2,
+		}}
+	}
+
+	// MA: store-carry-forward couriers across the (eventually partitioned)
+	// crowd.
+	fleet := &scenario.Couriers{
+		Count:        int(p["couriers"]),
+		TargetPop:    "stage",
+		SourcePop:    "a",
+		SrcMin:       t13SrcMin,
+		SrcMax:       t13SrcMax,
+		PayloadBytes: t13MsgSize,
+		NamePrefix:   "courier",
+		TopicPrefix:  "blackout/courier",
+	}
+
+	// COD: the survival-kit component rolls out to every attendee from
+	// whichever stage it roams past.
+	kit := &scenario.FetchWave{
+		Pop: "a", ServerPop: "stage",
+		Unit: func(w *scenario.World) *lmu.Unit {
+			return app.BuildCodec(w.ID, "survivalkit", "1.0", t13KitSize)
+		},
+		Entry: "decode", Args: []int64{8},
+		Retry: 20 * time.Second,
+	}
+
+	// CS and REV: attendees camped nearest each stage at workload start
+	// keep calling / ship an eval job, retrying through the blackout.
+	stats := &t13Paradigms{}
+
+	return &scenario.Spec{
+		Name:  "Blackout",
+		Field: scenario.Field{Width: field, Height: field},
+		Populations: []scenario.Population{
+			{
+				Name: "stage", Count: t13Stages, Place: stagePos,
+				Link: netsim.AdHoc, Range: radio,
+				AllowUnsigned: true,
+				Agents:        true, MaxHops: 4096,
+				ExtraCaps: scenario.GreedyGeoCaps,
+				Beacon:    t13BeaconIvl,
+				Ads:       []discovery.Ad{{Service: "blackout/info"}},
+				AdSelf:    "blackout/",
+			},
+			{
+				Name: "a", Count: attendees, Place: scenario.PlaceUniform{},
+				Link: netsim.AdHoc, Range: radio,
+				AllowUnsigned: true,
+				Agents:        true, AgentSeedOffset: t13Stages, MaxHops: 4096,
+				ExtraCaps: scenario.GreedyGeoCaps,
+				Beacon:    t13BeaconIvl,
+				Ads:       []discovery.Ad{{Service: "presence"}},
+				Mobility: &netsim.RandomWaypoint{
+					FieldW: field, FieldH: field,
+					SpeedMin: 1, SpeedMax: 5, Pause: 5 * time.Second,
+				},
+				MobilityTick: time.Second,
+			},
+		},
+		Warmup:    t13Warmup,
+		Duration:  duration,
+		Workloads: []scenario.Workload{kit, fleet, t13CSREV(stats)},
+		Probes: []scenario.Probe{
+			scenario.MeanNeighbors{Pop: "a"},
+			scenario.Coverage{Pop: "a", Service: "blackout/info"},
+			scenario.ProbeFunc(stats.collect),
+			scenario.Fetches{Of: kit, Prefix: "kit"},
+			scenario.AgentHops{Label: "courier hops / failed"},
+			scenario.Deliveries{Of: fleet},
+			scenario.Reliability{},
+			scenario.NetTraffic{},
+		},
+		Faults: faults,
+		TableTitle: fmt.Sprintf(
+			"Table T13: %d attendees + %d stages, %gx%gm, loss %g→%g, churn %g, partition [%v,%v)",
+			attendees, t13Stages, field, field, loss, math.Min(2.5*loss, 0.75), churn,
+			partitionAt, healAt),
+	}
+}
+
+// t13CSREV starts the Client/Server and Remote Evaluation workloads: for
+// each stage, the nearest unclaimed attendee becomes its CS client (rounds
+// of echo calls, retrying failures) and the next-nearest its REV client
+// (one eval job, retried until it lands). Selection is deterministic: ties
+// resolve in creation order.
+func t13CSREV(stats *t13Paradigms) scenario.Workload {
+	return scenario.Func(func(w *scenario.World) {
+		// Reset, not accumulate: like the built-in workloads, the same spec
+		// value may be started once per seed.
+		*stats = t13Paradigms{}
+		stages := w.Pops["stage"]
+		reply := make([]byte, 96)
+		for _, s := range stages {
+			w.Hosts[s].RegisterService("blackout/echo", func(string, [][]byte) ([][]byte, error) {
+				return [][]byte{reply}, nil
+			})
+		}
+		claimed := map[string]bool{}
+		// nearest claims the closest unclaimed attendee, or "" when the
+		// crowd is exhausted (tiny sweep populations) — the stage then
+		// simply fields no client for that paradigm.
+		nearest := func(stage string) string {
+			pos := w.Net.Node(stage).Pos
+			best, bestD := "", math.Inf(1)
+			for _, name := range w.Pops["a"] {
+				if claimed[name] {
+					continue
+				}
+				if d := w.Net.Node(name).Pos.Dist(pos); d < bestD {
+					best, bestD = name, d
+				}
+			}
+			if best != "" {
+				claimed[best] = true
+			}
+			return best
+		}
+
+		req := make([]byte, t13MsgSize)
+		for _, s := range stages {
+			stage := s
+
+			// CS: sequential echo rounds, a failed round retries in 10s.
+			csName := nearest(stage)
+			if csName == "" {
+				continue
+			}
+			stats.csRounds += t13CSRounds
+			client := w.Hosts[csName]
+			remaining := t13CSRounds
+			var call func()
+			call = func() {
+				if remaining <= 0 {
+					return
+				}
+				client.Call(stage, "blackout/echo", [][]byte{req}, func(_ [][]byte, err error) {
+					if err != nil {
+						w.Sim.Schedule(10*time.Second, call)
+						return
+					}
+					remaining--
+					stats.csDone++
+					call()
+				})
+			}
+			call()
+
+			// REV: one eval job shipped to the stage, retried until it runs.
+			revName := nearest(stage)
+			if revName == "" {
+				continue
+			}
+			stats.revTarget++
+			evalClient := w.Hosts[revName]
+			job := app.BuildCodec(w.ID, "blackoutjob-"+stage, "1.0", 256)
+			job.Manifest.Kind = lmu.KindRequest
+			w.ID.Sign(job)
+			done := false
+			var eval func()
+			eval = func() {
+				if done {
+					return
+				}
+				evalClient.Eval(stage, job, "decode", []int64{8}, func(_ []int64, err error) {
+					if err != nil {
+						w.Sim.Schedule(15*time.Second, eval)
+						return
+					}
+					if !done {
+						done = true
+						stats.revDone++
+					}
+				})
+			}
+			eval()
+		}
+	})
+}
+
+// collect renders the bespoke paradigm completions.
+func (s *t13Paradigms) collect(_ *scenario.World, t *metrics.Table) {
+	t.AddRow("cs rounds completed", fmt.Sprintf("%d/%d", s.csDone, s.csRounds))
+	t.AddRow("rev evals completed", fmt.Sprintf("%d/%d", s.revDone, s.revTarget))
+}

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"logmob/internal/wire"
+)
+
+// Reliable adds a budgeted ack/retry layer to an Endpoint, for substrates
+// where sends are silently lost (the simulator's lossy links) or fail
+// transiently (a churned node that will rejoin, a peer that roams back into
+// range). Every unicast payload is framed with a sequence number and
+// retried until acked, up to a configured attempt budget; broadcasts pass
+// through unacked (beacon traffic is periodic and self-healing).
+//
+// Delivery is at-least-once: a lost ack makes the sender retry a frame the
+// receiver already delivered, so receivers may see duplicates. The logmob
+// kernel tolerates this (request/reply matching dedupes replies, agent
+// transfer is at-least-once by design); other users must be idempotent.
+//
+// Both ends of a conversation must speak the framing: wrap every endpoint
+// of a world, or none (the scenario compiler wraps all hosts when
+// Faults.Retry is enabled). Retries are scheduled on the given Scheduler,
+// so over the simulator they are deterministic virtual-time events.
+type Reliable struct {
+	ep    Endpoint
+	sched Scheduler
+	cfg   ReliableConfig
+
+	mu      sync.Mutex
+	handler Handler
+	nextSeq uint64
+	pending map[uint64]*relPending
+	stats   ReliableStats
+}
+
+// relPending is one in-flight unicast: it stays in the pending map from
+// first send until acked or given up, so an ack can never race a retry
+// into a window where the slot is missing.
+type relPending struct {
+	attempts int
+	cancel   func()
+}
+
+// ReliableConfig tunes the ack/retry layer.
+type ReliableConfig struct {
+	// Budget is the total number of send attempts per message (first try
+	// included); 0 defaults to 3.
+	Budget int
+	// Timeout is how long to wait for an ack before the next attempt;
+	// 0 defaults to 2s.
+	Timeout time.Duration
+}
+
+func (c ReliableConfig) budget() int {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return 3
+}
+
+func (c ReliableConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
+}
+
+// ReliableStats counts ack/retry outcomes.
+type ReliableStats struct {
+	// Sent counts unicast payloads accepted for delivery.
+	Sent int64
+	// Acked counts payloads confirmed by the receiver.
+	Acked int64
+	// Retries counts re-send attempts beyond each payload's first.
+	Retries int64
+	// GaveUp counts payloads abandoned with their budget exhausted.
+	GaveUp int64
+	// AcksSent counts acknowledgement frames sent back to peers.
+	AcksSent int64
+}
+
+// frame kinds.
+const (
+	relData  byte = 1 // unicast payload, wants an ack
+	relAck   byte = 2 // acknowledgement for a relData seq
+	relBcast byte = 3 // broadcast payload, no ack
+)
+
+// NewReliable wraps ep. The returned endpoint owns ep's handler slot;
+// install the application handler on the Reliable, not on ep.
+func NewReliable(ep Endpoint, sched Scheduler, cfg ReliableConfig) *Reliable {
+	r := &Reliable{
+		ep:      ep,
+		sched:   sched,
+		cfg:     cfg,
+		pending: make(map[uint64]*relPending),
+	}
+	ep.SetHandler(r.dispatch)
+	return r
+}
+
+var _ Endpoint = (*Reliable)(nil)
+
+// Addr implements Endpoint.
+func (r *Reliable) Addr() string { return r.ep.Addr() }
+
+// Stats returns a copy of the layer's counters.
+func (r *Reliable) Stats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Send implements Endpoint. It always returns nil: a synchronous failure
+// (peer out of range, down) consumes an attempt and is retried like a lost
+// frame, because under churn and mobility the peer may be back before the
+// budget runs out. Callers needing a completion signal use their own
+// request timeouts, as the kernel does.
+func (r *Reliable) Send(to string, payload []byte) error {
+	r.mu.Lock()
+	r.nextSeq++
+	seq := r.nextSeq
+	r.stats.Sent++
+	var fb wire.Buffer
+	fb.PutByte(relData)
+	fb.PutUint(seq)
+	fb.PutBytes(payload)
+	frame := fb.Bytes()
+	p := &relPending{attempts: 1}
+	// Arm the slot and the timer under one critical section: the timer
+	// callback and the ack path both take the lock first, so neither can
+	// observe a half-armed state — even on wall-clock schedulers where
+	// they run on other goroutines.
+	p.cancel = r.sched.After(r.cfg.timeout(), func() { r.timeout(to, seq, frame) })
+	r.pending[seq] = p
+	r.mu.Unlock()
+	_ = r.ep.Send(to, frame) // a sync error is just a faster lost frame
+	return nil
+}
+
+// timeout is the retry timer body: re-send with the budget's blessing, or
+// give up. The pending entry stays in the map across retries, so a late
+// ack always finds it.
+func (r *Reliable) timeout(to string, seq uint64, frame []byte) {
+	r.mu.Lock()
+	p := r.pending[seq]
+	if p == nil {
+		r.mu.Unlock()
+		return // acked (or closed) in the meantime
+	}
+	if p.attempts >= r.cfg.budget() {
+		delete(r.pending, seq)
+		r.stats.GaveUp++
+		r.mu.Unlock()
+		return
+	}
+	p.attempts++
+	r.stats.Retries++
+	p.cancel = r.sched.After(r.cfg.timeout(), func() { r.timeout(to, seq, frame) })
+	r.mu.Unlock()
+	_ = r.ep.Send(to, frame)
+}
+
+// Broadcast implements Endpoint: broadcasts are framed but not acked.
+func (r *Reliable) Broadcast(payload []byte) int {
+	var b wire.Buffer
+	b.PutByte(relBcast)
+	b.PutBytes(payload)
+	return r.ep.Broadcast(b.Bytes())
+}
+
+// Neighbors implements Endpoint.
+func (r *Reliable) Neighbors() []string { return r.ep.Neighbors() }
+
+// SetHandler implements Endpoint.
+func (r *Reliable) SetHandler(h Handler) {
+	r.mu.Lock()
+	r.handler = h
+	r.mu.Unlock()
+}
+
+// Close implements Endpoint: outstanding retries are cancelled.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	for seq, p := range r.pending {
+		p.cancel()
+		delete(r.pending, seq)
+	}
+	r.mu.Unlock()
+	return r.ep.Close()
+}
+
+// dispatch handles incoming frames: data is acked and delivered, acks
+// retire pending retries, broadcasts are delivered as-is.
+func (r *Reliable) dispatch(from string, payload []byte) {
+	rd := wire.NewReader(payload)
+	kind := rd.Byte()
+	switch kind {
+	case relData:
+		seq := rd.Uint()
+		data := rd.Bytes()
+		if rd.Err() != nil {
+			return
+		}
+		var b wire.Buffer
+		b.PutByte(relAck)
+		b.PutUint(seq)
+		if r.ep.Send(from, b.Bytes()) == nil {
+			r.mu.Lock()
+			r.stats.AcksSent++
+			r.mu.Unlock()
+		}
+		r.deliver(from, data)
+	case relAck:
+		seq := rd.Uint()
+		if rd.Err() != nil {
+			return
+		}
+		r.mu.Lock()
+		p := r.pending[seq]
+		if p != nil {
+			delete(r.pending, seq)
+			r.stats.Acked++
+		}
+		r.mu.Unlock()
+		if p != nil {
+			p.cancel()
+		}
+	case relBcast:
+		data := rd.Bytes()
+		if rd.Err() != nil {
+			return
+		}
+		r.deliver(from, data)
+	}
+}
+
+func (r *Reliable) deliver(from string, data []byte) {
+	r.mu.Lock()
+	h := r.handler
+	r.mu.Unlock()
+	if h != nil {
+		h(from, data)
+	}
+}

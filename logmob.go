@@ -281,6 +281,50 @@ type (
 	Waypath = netsim.Waypath
 )
 
+// Adversity layer: deterministic fault injection. Every fault decision
+// draws from a dedicated seeded RNG, so faulty runs are exactly
+// reproducible — and bit-identical at any worker count — while zero-valued
+// fault configuration is provably inert.
+type (
+	// Impairment degrades a simulated link: extra drop probability,
+	// tick-quantised latency jitter, bandwidth degradation.
+	Impairment = netsim.Impairment
+	// ChurnSchedule crashes/rejoins and duty-cycles simulated nodes.
+	ChurnSchedule = netsim.ChurnSchedule
+	// Churn is a running ChurnSchedule (see Network.StartChurn).
+	Churn = netsim.Churn
+	// FaultStats counts impairment drops and jitter on a Network.
+	FaultStats = netsim.FaultStats
+	// ReliableEndpoint adds budgeted ack/retry to any transport Endpoint.
+	ReliableEndpoint = transport.Reliable
+	// ReliableConfig tunes the ack/retry layer.
+	ReliableConfig = transport.ReliableConfig
+	// ReliableStats counts ack/retry outcomes.
+	ReliableStats = transport.ReliableStats
+	// ScenarioFaults is a Scenario's declarative fault block: link
+	// impairments, churn, timed partitions, ack/retry, beacon-miss
+	// eviction.
+	ScenarioFaults = scenario.Faults
+	// LinkFault impairs one population's links.
+	LinkFault = scenario.LinkFault
+	// ChurnFault churns one population.
+	ChurnFault = scenario.ChurnFault
+	// PartitionFault is a timed split-then-heal event.
+	PartitionFault = scenario.PartitionFault
+	// FaultEvent rewrites the world-wide impairment mid-run.
+	FaultEvent = scenario.FaultEvent
+	// RetryFault enables the ack/retry transport layer in a Scenario.
+	RetryFault = scenario.RetryFault
+	// ReliabilityProbe reports delivery ratio, retries and repair times.
+	ReliabilityProbe = scenario.Reliability
+)
+
+// NewReliableEndpoint wraps ep in a budgeted ack/retry layer scheduled on
+// sched. Both ends of a conversation must be wrapped.
+func NewReliableEndpoint(ep transport.Endpoint, sched transport.Scheduler, cfg ReliableConfig) *ReliableEndpoint {
+	return transport.NewReliable(ep, sched, cfg)
+}
+
 // Scenario API: declarative worlds, replication and sweeps.
 //
 // A Scenario describes a simulated deployment — field, node populations

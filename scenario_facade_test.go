@@ -141,3 +141,52 @@ func TestAggregateTablesFacade(t *testing.T) {
 		t.Errorf("aggregate cell = %q", got)
 	}
 }
+
+// TestFaultsThroughFacade declares a degraded festival using only the
+// public surface: the fault block, the reliability probe and the fault
+// accounting on the compiled world must all be reachable without touching
+// internal/.
+func TestFaultsThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	spec, _ := festivalSpec(80)
+	spec.Faults = logmob.ScenarioFaults{
+		Loss:        0.2,
+		JitterTicks: 2,
+		Links:       []logmob.LinkFault{{Pop: "crowd", Drop: 0.05}},
+		Churn: []logmob.ChurnFault{{
+			Pop: "crowd", Tick: 10 * time.Second, CrashProb: 0.05, Downtime: 15 * time.Second,
+		}},
+		Partitions: []logmob.PartitionFault{{
+			At: 90 * time.Second, Heal: 3 * time.Minute, SplitX: 200,
+		}},
+		Retry:           logmob.RetryFault{Budget: 3, Timeout: 2 * time.Second},
+		BeaconMissEvict: 3,
+	}
+	spec.Probes = append(spec.Probes, logmob.ReliabilityProbe{})
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid faulty spec rejected: %v", err)
+	}
+	w, table := logmob.RunSpec(spec, 1)
+	if table == nil {
+		t.Fatal("no summary table")
+	}
+	if w.Net.FaultStats().Drops == 0 {
+		t.Error("no impairment drops at 20% loss")
+	}
+	if len(w.Reliables) == 0 || len(w.Churns) == 0 {
+		t.Error("fault machinery not reachable on the compiled world")
+	}
+	var sb strings.Builder
+	table.Render(&sb)
+	if out := sb.String(); !strings.Contains(out, "delivery ratio %") {
+		t.Errorf("reliability probe missing from table:\n%s", out)
+	}
+
+	// Hostile specs error through the facade, too.
+	spec.Faults.Loss = 1.5
+	if err := spec.Validate(); err == nil {
+		t.Error("Validate accepted loss=1.5")
+	}
+}
