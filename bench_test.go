@@ -11,8 +11,10 @@ import (
 
 	"logmob/internal/agent"
 	"logmob/internal/core"
+	"logmob/internal/ctxsvc"
 	"logmob/internal/lmu"
 	"logmob/internal/netsim"
+	"logmob/internal/policy"
 	"logmob/internal/registry"
 	"logmob/internal/security"
 	"logmob/internal/sim"
@@ -286,3 +288,37 @@ func BenchmarkA3UpdateCadence(b *testing.B) { benchExperiment(b, "A3") }
 // internal/netsim/grid_bench_test.go, where the unexported oracle is
 // reachable.
 func BenchmarkT11FestivalScale(b *testing.B) { benchExperiment(b, "T11") }
+
+// BenchmarkT14AdaptiveLoop regenerates the adaptation race: five client
+// groups, live sensing every 3s, per-interaction re-selection, batteries,
+// escalating loss and station churn — the whole sense→decide→act loop
+// end to end.
+func BenchmarkT14AdaptiveLoop(b *testing.B) { benchExperiment(b, "T14") }
+
+// BenchmarkDecide measures one live decision: a validated, EWMA-smoothed,
+// hysteretic paradigm selection over a sensed context — the hot call the
+// adaptation engine makes before every interaction.
+func BenchmarkDecide(b *testing.B) {
+	ctx := ctxsvc.New(func() time.Duration { return 0 }, 16)
+	ctx.SetNum(ctxsvc.KeyBandwidth, 90e3)
+	ctx.SetNum(ctxsvc.KeyLatency, 0.03)
+	ctx.SetNum(ctxsvc.KeyLoss, 0.15)
+	ctx.SetNum(ctxsvc.KeyEnergyPerByte, 1)
+	ctx.SetNum(ctxsvc.KeyBattery, 0.6)
+	d := &policy.AdaptiveDecider{
+		Objective:    policy.Objective{BytesWeight: 0.3, LatencyWeight: 600, EnergyWeight: 0.3},
+		BatteryAware: true,
+	}
+	task := policy.Task{
+		Interactions: 6, ReqBytes: 64, ReplyBytes: 64,
+		CodeBytes: 1500, StateBytes: 200, ResultBytes: 32, ComputeUnits: 0.5,
+	}
+	allowed := policy.Paradigms()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Decide(d, task, allowed, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,9 @@
 //	experiments -sweep a=1,2,3     sweep parameter a over the given values
 //	                               (see -list for each experiment's
 //	                               parameters)
+//	experiments -paradigm rev      pin the paradigm of experiments that
+//	                               expose one (cs/rev/cod/ma/adaptive),
+//	                               like -loss/-churn override theirs
 //	experiments -json              machine-readable output
 //	experiments -list              list experiments and their motivations
 //	experiments -csv out/          also write each table as CSV under out/
@@ -49,6 +52,7 @@ func main() {
 	sweepFlag := flag.String("sweep", "", "parameter sweep, e.g. attendees=100,500,2000")
 	lossFlag := flag.Float64("loss", -1, "override the 'loss' parameter of experiments that expose it (e.g. T13 drop probability)")
 	churnFlag := flag.Float64("churn", -1, "override the 'churn' parameter of experiments that expose it (e.g. T13 per-tick crash probability)")
+	paradigmFlag := flag.String("paradigm", "", "override the 'paradigm' parameter of experiments that expose it: cs, rev, cod, ma or adaptive (e.g. T14 group selection)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
@@ -115,14 +119,22 @@ func main() {
 		}
 	}
 
-	// Adversity knobs: -loss/-churn override the matching parameter on
-	// every selected experiment that exposes it (others run unchanged).
+	// Adversity and paradigm knobs: -loss/-churn/-paradigm override the
+	// matching parameter on every selected experiment that exposes it
+	// (others run unchanged).
 	overrides := map[string]float64{}
 	if *lossFlag >= 0 {
 		overrides["loss"] = *lossFlag
 	}
 	if *churnFlag >= 0 {
 		overrides["churn"] = *churnFlag
+	}
+	if *paradigmFlag != "" {
+		code, ok := sim.ParadigmCodes[strings.ToLower(*paradigmFlag)]
+		if !ok {
+			fatalf("unknown -paradigm %q (want cs, rev, cod, ma or adaptive)", *paradigmFlag)
+		}
+		overrides["paradigm"] = code
 	}
 
 	if *csvDir != "" {

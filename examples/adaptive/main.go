@@ -1,120 +1,87 @@
 // Adaptive example — the paper's next-generation requirement that
 // "different mobile code paradigms could be plugged-in dynamically and used
-// when needed after assessment of the environment and application": the
-// same task, executed three times as its shape and the device's context
-// change, lands on three different paradigms.
+// when needed after assessment of the environment and application", on the
+// public API only: a declarative scenario senses a degrading link into each
+// device's context service, and per-device adaptation engines re-select the
+// paradigm per interaction — Client/Server while the link is clean, a
+// ship-once paradigm as loss climbs, the frugal choice as the battery
+// drains.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"logmob"
-	"logmob/internal/adapt"
-	"logmob/internal/policy"
 )
 
 func main() {
-	sim := logmob.NewSim(13)
-	net := logmob.NewNetwork(sim)
-	sn := logmob.NewSimNetwork(net)
-
-	id, err := logmob.NewIdentity("publisher")
-	if err != nil {
-		log.Fatal(err)
+	// The task stream: a chatty control exchange against a comparatively
+	// heavy code bundle. Clean link: chatting is cheapest. Lossy link: the
+	// six message legs per task hurt and shipping the code once wins.
+	task := logmob.ParadigmTask{
+		Interactions: 3, ReqBytes: 24, ReplyBytes: 24,
+		CodeBytes: 1200, StateBytes: 120, ResultBytes: 16,
 	}
-	trust := logmob.NewTrustStore()
-	trust.TrustIdentity(id)
 
-	mk := func(name string, class logmob.LinkClass) *logmob.Host {
-		net.AddNode(name, logmob.Position{}, class)
-		ep, err := sn.Endpoint(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h, err := logmob.NewHost(logmob.HostConfig{
-			Name: name, Endpoint: ep, Scheduler: sim, Trust: trust, ServeEval: true,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return h
+	stream := &logmob.AdaptiveWorkload{
+		Pop: "device", ServerPop: "station",
+		Model:        task,
+		Gap:          2 * time.Second,
+		FreshCode:    true,
+		BatteryAware: true,
+		Objective:    logmob.ParadigmObjective{BytesWeight: 0.3, LatencyWeight: 600, EnergyWeight: 0.3},
+		Label:        "adaptive",
 	}
-	server := mk("server", logmob.LAN)
-	device := mk("device", logmob.WLAN)
 
-	// One capability, offered every way: a doubling tool.
-	unit := &logmob.Unit{
-		Manifest: logmob.Manifest{Name: "tool/double", Version: "1.0",
-			Kind: logmob.KindComponent, Publisher: "publisher"},
-		Code: logmob.MustAssemble(".entry main\nmain:\npush 2\nmul\nhalt\n").Encode(),
-	}
-	id.Sign(unit)
-	if err := server.Publish(unit); err != nil {
-		log.Fatal(err)
-	}
-	server.RegisterService("double", func(from string, args [][]byte) ([][]byte, error) {
-		vals := adapt.DecodeArgs(args)
-		for i := range vals {
-			vals[i] *= 2
-		}
-		return adapt.EncodeReplies(vals), nil
-	})
-
-	runner := logmob.NewTaskRunner(device, nil)
-	runTask := func(label string, interactions int64) {
-		spec := &logmob.TaskSpec{
-			Model: policy.Task{
-				Interactions: interactions,
-				ReqBytes:     16, ReplyBytes: 16,
-				CodeBytes:   int64(unit.Size()),
-				ResultBytes: 16,
+	spec := &logmob.Scenario{
+		Name:  "adaptive quickstart",
+		Field: logmob.ScenarioField{Width: 100, Height: 100},
+		Populations: []logmob.Population{
+			{
+				Name: "station", Place: logmob.PlacePoints{{X: 50, Y: 50}},
+				Link: logmob.WLAN, Range: 200,
+				AllowUnsigned: true, Agents: true,
 			},
-			Remote: "server", Service: "double",
-			Unit: unit, Entry: "main", Args: []int64{21},
-		}
-		runner.Run(spec, func(out logmob.TaskOutcome, err error) {
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-34s -> %-3s (%d round(s), result %v)\n",
-				label, out.Paradigm, out.Rounds, out.Stack)
-		})
-		sim.RunFor(5 * time.Minute)
-	}
-
-	fmt.Println("the same capability, chosen by context assessment:")
-	runTask("one-shot query", 1)
-	runTask("steady use, 400 rounds", 400)
-
-	// A compute-heavy pipeline with bulky intermediate results: chatting
-	// (CS) would haul every intermediate over the link, running locally
-	// (COD) would crawl on the weak CPU — shipping the code out once (REV)
-	// wins.
-	heavy := &logmob.TaskSpec{
-		Model: policy.Task{
-			Interactions: 10,
-			ReqBytes:     64, ReplyBytes: 2048,
-			CodeBytes:    int64(unit.Size()),
-			ResultBytes:  64,
-			ComputeUnits: 30, // seconds on the reference CPU
+			{
+				Name: "device", Count: 2,
+				Place: logmob.PlacePoints{{X: 60, Y: 50}, {X: 40, Y: 50}},
+				Link:  logmob.WLAN, Range: 200,
+				AllowUnsigned: true, Agents: true, AgentSeedOffset: 1,
+				EnergyBudget: 3e5, // a battery: traffic energy drains it
+			},
 		},
-		Remote: "server", Service: "double",
-		Unit: unit, Entry: "main", Args: []int64{21},
+		Warmup:   5 * time.Second,
+		Duration: 4 * time.Minute,
+		// The adversity layer degrades the link mid-run; the sensing layer
+		// samples what the devices actually experience every 2 seconds.
+		Faults: logmob.ScenarioFaults{
+			Retry: logmob.RetryFault{Budget: 3, Timeout: time.Second},
+			Events: []logmob.FaultEvent{
+				{At: 90 * time.Second, Loss: 0.35, JitterTicks: 2},
+			},
+		},
+		Sense:     logmob.ScenarioSense{Tick: 2 * time.Second},
+		Workloads: []logmob.ScenarioWorkload{stream},
+		Probes:    []logmob.ScenarioProbe{logmob.DecisionsProbe{Of: stream}},
 	}
-	device.Context().SetNum("cpu.factor", 0.2)        // weak device
-	device.Context().SetNum("remote.cpu.factor", 8.0) // strong server
-	runner.Run(heavy, func(out logmob.TaskOutcome, err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-34s -> %-3s (%d round(s), result %v)\n",
-			"compute pipeline on a weak device", out.Paradigm, out.Rounds, out.Stack)
-	})
-	sim.RunFor(5 * time.Minute)
 
-	fmt.Printf("\nexecutions by paradigm: %v\n", runner.Executions())
+	world, table := logmob.RunSpec(spec, 42)
+	fmt.Println("the same task stream, re-decided per interaction as the world degrades:")
+	table.Render(os.Stdout)
+
+	done := stream.Stats.ByParadigm
+	fmt.Printf("\ncompletions by paradigm: CS=%d REV=%d COD=%d MA=%d (of %d tasks)\n",
+		done[logmob.CS], done[logmob.REV], done[logmob.COD], done[logmob.MA], stream.Stats.Completed)
+	for _, eng := range stream.Engines() {
+		if h := eng.History(); len(h) > 0 {
+			fmt.Printf("an engine's first/last decisions: %s@%v -> %s@%v (%d switches)\n",
+				h[0].Paradigm, h[0].At, h[len(h)-1].Paradigm, h[len(h)-1].At, eng.Switches())
+			break
+		}
+	}
+	fmt.Printf("device battery left: %.0f%%\n", 100*world.Net.BatteryLevel("device0"))
 }

@@ -17,6 +17,7 @@ package adapt
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"logmob/internal/core"
 	"logmob/internal/lmu"
@@ -42,8 +43,13 @@ type TaskSpec struct {
 	// Unit is the code unit used by REV (shipped) and COD (fetched; it must
 	// be published by Remote under its manifest name).
 	Unit *lmu.Unit
-	// Entry is the unit entry point.
+	// Entry is the unit entry point. COD runs it once per interaction
+	// round; REV evaluates it once for the whole task.
 	Entry string
+	// EvalEntry, if non-empty, is the entry REV uses instead of Entry —
+	// for units whose per-round entry must be wrapped in a run-the-whole-
+	// task entry so a single remote evaluation performs all rounds' work.
+	EvalEntry string
 	// Args are the per-round arguments.
 	Args []int64
 	// SpawnAgent, if set, handles the MA paradigm: it should launch the
@@ -67,6 +73,34 @@ func (s *TaskSpec) executable() []policy.Paradigm {
 		out = append(out, policy.MA)
 	}
 	return out
+}
+
+// usable returns the spec's decision space: the caller's Allowed set
+// intersected with what the spec can execute (the full executable set when
+// Allowed is empty). Runner.Choose and Engine.decide share it, so both
+// entry points agree on what a decider may pick.
+func (s *TaskSpec) usable() ([]policy.Paradigm, error) {
+	executable := s.executable()
+	if len(executable) == 0 {
+		return nil, fmt.Errorf("%w: no operations provided", ErrNoOperation)
+	}
+	if len(s.Allowed) == 0 {
+		return executable, nil
+	}
+	can := map[policy.Paradigm]bool{}
+	for _, p := range executable {
+		can[p] = true
+	}
+	var out []policy.Paradigm
+	for _, p := range s.Allowed {
+		if can[p] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: allowed set has no executable paradigm", ErrNoOperation)
+	}
+	return out, nil
 }
 
 // Outcome reports how a task was executed.
@@ -107,42 +141,17 @@ func (r *Runner) Executions() map[policy.Paradigm]int64 {
 }
 
 // Choose returns the paradigm the runner would use for the spec right now,
-// without executing it.
+// without executing it. The decision routes through policy.Decide, so
+// restriction-aware deciders (AllowedChooser) score only the executable
+// set — a stateful decider can never lock its incumbent onto a paradigm
+// the spec cannot run — and hostile task models error instead of flowing
+// into the arithmetic.
 func (r *Runner) Choose(spec *TaskSpec) (policy.Paradigm, error) {
-	allowed := spec.Allowed
-	if len(allowed) == 0 {
-		allowed = spec.executable()
+	usable, err := spec.usable()
+	if err != nil {
+		return 0, err
 	}
-	if len(allowed) == 0 {
-		return 0, fmt.Errorf("%w: no operations provided", ErrNoOperation)
-	}
-	// Intersect the decider's preference with what is executable.
-	executable := map[policy.Paradigm]bool{}
-	for _, p := range spec.executable() {
-		executable[p] = true
-	}
-	var usable []policy.Paradigm
-	for _, p := range allowed {
-		if executable[p] {
-			usable = append(usable, p)
-		}
-	}
-	if len(usable) == 0 {
-		return 0, fmt.Errorf("%w: allowed set has no executable paradigm", ErrNoOperation)
-	}
-	if cd, ok := r.decider.(*policy.CostDecider); ok {
-		restricted := *cd
-		restricted.Allowed = usable
-		return restricted.Choose(spec.Model, r.host.Context()), nil
-	}
-	chosen := r.decider.Choose(spec.Model, r.host.Context())
-	for _, p := range usable {
-		if p == chosen {
-			return chosen, nil
-		}
-	}
-	// The decider's pick is not executable; fall back to the first usable.
-	return usable[0], nil
+	return policy.Decide(r.decider, spec.Model, usable, r.host.Context())
 }
 
 // Run executes the task under the chosen paradigm. cb fires exactly once.
@@ -152,15 +161,30 @@ func (r *Runner) Run(spec *TaskSpec, cb func(Outcome, error)) {
 		cb(Outcome{}, err)
 		return
 	}
-	r.stats[chosen]++
+	r.RunAs(chosen, spec, cb)
+}
+
+// RunAs executes the task under an explicitly chosen paradigm, bypassing
+// the decider — the adaptation engine's act step, also usable to pin a
+// fixed paradigm for comparison runs. The spec must be able to execute the
+// paradigm (e.g. RunAs(policy.MA, ...) needs SpawnAgent).
+func (r *Runner) RunAs(chosen policy.Paradigm, spec *TaskSpec, cb func(Outcome, error)) {
 	switch chosen {
 	case policy.CS:
+		r.stats[chosen]++
 		r.runCS(spec, cb)
 	case policy.REV:
+		r.stats[chosen]++
 		r.runREV(spec, cb)
 	case policy.COD:
+		r.stats[chosen]++
 		r.runCOD(spec, cb)
 	case policy.MA:
+		if spec.SpawnAgent == nil {
+			cb(Outcome{Paradigm: policy.MA}, fmt.Errorf("%w: no agent spawner", ErrNoOperation))
+			return
+		}
+		r.stats[chosen]++
 		if err := spec.SpawnAgent(func(stack []int64, err error) {
 			if err != nil {
 				cb(Outcome{Paradigm: policy.MA}, err)
@@ -170,6 +194,8 @@ func (r *Runner) Run(spec *TaskSpec, cb func(Outcome, error)) {
 		}); err != nil {
 			cb(Outcome{Paradigm: policy.MA}, err)
 		}
+	default:
+		cb(Outcome{}, fmt.Errorf("%w: unknown paradigm %v", ErrNoOperation, chosen))
 	}
 }
 
@@ -200,7 +226,11 @@ func (r *Runner) runCS(spec *TaskSpec, cb func(Outcome, error)) {
 }
 
 func (r *Runner) runREV(spec *TaskSpec, cb func(Outcome, error)) {
-	r.host.Eval(spec.Remote, spec.Unit, spec.Entry, spec.Args, func(stack []int64, err error) {
+	entry := spec.EvalEntry
+	if entry == "" {
+		entry = spec.Entry
+	}
+	r.host.Eval(spec.Remote, spec.Unit, entry, spec.Args, func(stack []int64, err error) {
 		if err != nil {
 			cb(Outcome{Paradigm: policy.REV}, err)
 			return
@@ -210,6 +240,10 @@ func (r *Runner) runREV(spec *TaskSpec, cb func(Outcome, error)) {
 }
 
 // runCOD ensures the component locally, then runs every round on-device.
+// When the host models a CPU speed (Config.ComputeRate), the completion
+// callback is delayed by the executed instruction count over that rate, so
+// running fetched code on a weak device costs the virtual time it should —
+// symmetrical with the kernel's delayed Eval replies.
 func (r *Runner) runCOD(spec *TaskSpec, cb func(Outcome, error)) {
 	name := spec.Unit.Manifest.Name
 	r.host.Ensure(spec.Remote, name, spec.Unit.Manifest.Version, func(_ *lmu.Unit, _ bool, err error) {
@@ -222,15 +256,23 @@ func (r *Runner) runCOD(spec *TaskSpec, cb func(Outcome, error)) {
 			rounds = 1
 		}
 		var last []int64
+		var steps int64
 		for i := int64(0); i < rounds; i++ {
-			stack, err := r.host.RunComponent(name, spec.Entry, spec.Args...)
+			stack, n, err := r.host.RunComponentSteps(name, spec.Entry, spec.Args...)
+			steps += n
 			if err != nil {
 				cb(Outcome{Paradigm: policy.COD, Rounds: i}, err)
 				return
 			}
 			last = stack
 		}
-		cb(Outcome{Paradigm: policy.COD, Stack: last, Rounds: rounds}, nil)
+		done := func() { cb(Outcome{Paradigm: policy.COD, Stack: last, Rounds: rounds}, nil) }
+		if rate := r.host.ComputeRate(); rate > 0 && steps > 0 {
+			delay := time.Duration(float64(steps) / rate * float64(time.Second))
+			r.host.Scheduler().After(delay, done)
+			return
+		}
+		done()
 	})
 }
 

@@ -1,0 +1,148 @@
+// The Engine is the per-host half of the adaptation loop: where Runner is a
+// stateless execute-under-a-decider helper, an Engine owns a live decider
+// (typically a policy.AdaptiveDecider fed by the scenario sensors), re-runs
+// the decision before every interaction, and keeps the decision trajectory
+// — which paradigm ran when, how often the selection switched, and the
+// model regret of each choice against the best allowed alternative — for
+// the Decisions probe to report.
+package adapt
+
+import (
+	"time"
+
+	"logmob/internal/core"
+	"logmob/internal/policy"
+)
+
+// Decision is one entry in an Engine's trajectory.
+type Decision struct {
+	// At is the virtual time of the decision.
+	At time.Duration
+	// Paradigm is what ran.
+	Paradigm policy.Paradigm
+	// Score and BestScore are the decider's score for the choice and for
+	// the best allowed alternative at decision time; Score - BestScore is
+	// the model regret of honouring hysteresis (0 when the best won).
+	Score, BestScore float64
+}
+
+// Engine executes TaskSpecs on one host under a live decider, recording the
+// decision trajectory. Like the kernel it serves, it is driven from the
+// event loop and is not goroutine-safe.
+type Engine struct {
+	runner  *Runner
+	host    *core.Host
+	decider policy.Decider
+
+	// HistoryCap bounds the retained trajectory (oldest dropped); 0 means
+	// 1024.
+	HistoryCap int
+
+	history   []Decision
+	last      policy.Paradigm
+	switches  int64
+	decisions int64
+	regret    float64
+}
+
+// NewEngine builds an adaptation engine on h. A nil decider defaults to a
+// battery-aware AdaptiveDecider over the default objective with an energy
+// term — the live counterpart of NewRunner's cost model.
+func NewEngine(h *core.Host, d policy.Decider) *Engine {
+	if d == nil {
+		obj := policy.DefaultObjective()
+		obj.EnergyWeight = 0.05
+		d = &policy.AdaptiveDecider{Objective: obj, BatteryAware: true}
+	}
+	return &Engine{
+		runner:  NewRunner(h, d),
+		host:    h,
+		decider: d,
+	}
+}
+
+// Runner returns the underlying executor (e.g. for RunAs comparison runs).
+func (e *Engine) Runner() *Runner { return e.runner }
+
+// Decider returns the engine's decider.
+func (e *Engine) Decider() policy.Decider { return e.decider }
+
+// Executions returns how many tasks ran under each paradigm.
+func (e *Engine) Executions() map[policy.Paradigm]int64 { return e.runner.Executions() }
+
+// Decisions returns how many tasks the engine has decided.
+func (e *Engine) Decisions() int64 { return e.decisions }
+
+// Switches returns how many decisions changed paradigm from the previous
+// one.
+func (e *Engine) Switches() int64 { return e.switches }
+
+// Regret returns the cumulative model regret: the sum over decisions of
+// score(chosen) - score(best allowed). 0 means every decision took the
+// model's best choice.
+func (e *Engine) Regret() float64 { return e.regret }
+
+// History returns a copy of the retained decision trajectory, oldest
+// first.
+func (e *Engine) History() []Decision {
+	out := make([]Decision, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+func (e *Engine) historyCap() int {
+	if e.HistoryCap > 0 {
+		return e.HistoryCap
+	}
+	return 1024
+}
+
+// decide validates and runs the decision, then accounts the trajectory.
+// Like Runner.Choose, the decision space is the caller's Allowed set
+// intersected with what the spec can actually execute (TaskSpec.usable),
+// so the decider can never pick a paradigm RunAs would refuse.
+func (e *Engine) decide(spec *TaskSpec) (policy.Paradigm, error) {
+	allowed, err := spec.usable()
+	if err != nil {
+		return 0, err
+	}
+	chosen, err := policy.Decide(e.decider, spec.Model, allowed, e.host.Context())
+	if err != nil {
+		return 0, err
+	}
+	score, best := 0.0, 0.0
+	if ad, ok := e.decider.(*policy.AdaptiveDecider); ok {
+		scores := ad.Scores(spec.Model, allowed)
+		score = scores[chosen]
+		first := true
+		for _, s := range scores {
+			if first || s < best {
+				best, first = s, false
+			}
+		}
+	}
+	e.decisions++
+	if e.last != 0 && chosen != e.last {
+		e.switches++
+	}
+	e.last = chosen
+	e.regret += score - best
+	e.history = append(e.history, Decision{
+		At: e.host.Scheduler().Now(), Paradigm: chosen, Score: score, BestScore: best,
+	})
+	if over := len(e.history) - e.historyCap(); over > 0 {
+		e.history = append(e.history[:0], e.history[over:]...)
+	}
+	return chosen, nil
+}
+
+// Run re-selects the paradigm for this interaction and executes the task
+// under it. cb fires exactly once.
+func (e *Engine) Run(spec *TaskSpec, cb func(Outcome, error)) {
+	chosen, err := e.decide(spec)
+	if err != nil {
+		cb(Outcome{}, err)
+		return
+	}
+	e.runner.RunAs(chosen, spec, cb)
+}

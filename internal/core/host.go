@@ -226,6 +226,10 @@ func (h *Host) Registry() *registry.Registry { return h.reg }
 // Context returns the host's context service.
 func (h *Host) Context() *ctxsvc.Service { return h.ctx }
 
+// ComputeRate returns the host's modelled CPU speed in VM instructions per
+// second of (virtual) time; 0 means computation is instantaneous.
+func (h *Host) ComputeRate() float64 { return h.computeRate }
+
 // Trust returns the host's trust store.
 func (h *Host) Trust() *security.TrustStore { return h.trust }
 

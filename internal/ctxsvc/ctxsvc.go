@@ -35,6 +35,14 @@ const (
 	KeyConnectivity Key = "connectivity"
 	// KeyNeighborCount is the number of one-hop neighbors.
 	KeyNeighborCount Key = "neighbors"
+	// KeyLoss is the observed per-message loss probability in [0,1).
+	KeyLoss Key = "link.loss"
+	// KeyEnergyPerByte is the link's battery energy cost per byte.
+	KeyEnergyPerByte Key = "link.energy.byte"
+	// KeyRetryRate is the observed transport retry ratio (retries per send
+	// attempt) over the last sensing window — the ack/retry layer's live
+	// loss evidence.
+	KeyRetryRate Key = "link.retry.rate"
 )
 
 // Value is a context attribute value: a number, a string, or both.

@@ -106,6 +106,44 @@ func TestHistoryBounded(t *testing.T) {
 	}
 }
 
+// TestPredicateFiresExactlyOncePerMatchingUpdate pins the delivery
+// contract the adaptation loop depends on: one Set = at most one callback
+// per subscription, matching updates only, no replays of history and no
+// cross-key leakage — even with several live subscriptions on the same key.
+func TestPredicateFiresExactlyOncePerMatchingUpdate(t *testing.T) {
+	s, _ := newSvc()
+	lowFired, allFired := 0, 0
+	s.Subscribe(KeyBattery, func(v Value) bool { return v.Num < 0.2 }, func(Key, Value) { lowFired++ })
+	s.Subscribe(KeyBattery, nil, func(Key, Value) { allFired++ })
+	updates := []float64{0.9, 0.15, 0.15, 0.5, 0.1, 0.3}
+	matching := 0
+	for _, v := range updates {
+		if v < 0.2 {
+			matching++
+		}
+		s.SetNum(KeyBattery, v)
+	}
+	// Re-setting the same value is still one update; unrelated keys fire
+	// nothing.
+	s.SetNum(KeyBandwidth, 0.05)
+	if lowFired != matching {
+		t.Errorf("predicate fired %d times for %d matching updates", lowFired, matching)
+	}
+	if allFired != len(updates) {
+		t.Errorf("nil predicate fired %d times for %d updates", allFired, len(updates))
+	}
+	// A subscriber added after N updates must not see them replayed.
+	late := 0
+	s.Subscribe(KeyBattery, nil, func(Key, Value) { late++ })
+	if late != 0 {
+		t.Errorf("late subscriber replayed %d historical updates", late)
+	}
+	s.SetNum(KeyBattery, 0.6)
+	if late != 1 {
+		t.Errorf("late subscriber fired %d times for one update", late)
+	}
+}
+
 func TestHistoryIsCopy(t *testing.T) {
 	s, _ := newSvc()
 	s.SetNum(KeyBattery, 1)

@@ -193,3 +193,11 @@ func (b *Beacon) CacheSize() int {
 	b.evictMissing()
 	return b.cache.size()
 }
+
+// Providers returns the number of distinct neighbors whose advertisements
+// are currently cached — the beacon's live estimate of its discovery
+// neighborhood, which the context sensors sample as a neighbor count.
+func (b *Beacon) Providers() int {
+	b.evictMissing()
+	return b.cache.providers()
+}

@@ -143,15 +143,29 @@ func (t *adTable) find(q Query) []Ad {
 	return out
 }
 
-func (t *adTable) size() int {
-	// Prune before counting.
+// prune drops expired leases.
+func (t *adTable) prune() {
 	now := t.now()
 	for key, l := range t.leases {
 		if l.expires <= now {
 			delete(t.leases, key)
 		}
 	}
+}
+
+func (t *adTable) size() int {
+	t.prune()
 	return len(t.leases)
+}
+
+// providers counts the distinct providers with at least one live lease.
+func (t *adTable) providers() int {
+	t.prune()
+	seen := make(map[string]bool)
+	for _, l := range t.leases {
+		seen[l.ad.Provider] = true
+	}
+	return len(seen)
 }
 
 // sortAds orders ads by (service, provider) for deterministic output.

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// energyRig builds two ad-hoc nodes in range with a delivery counter on b.
+func energyRig(t *testing.T) (*Sim, *Network, *int) {
+	t.Helper()
+	s := NewSim(1)
+	n := NewNetwork(s)
+	n.AddNode("a", Position{}, AdHoc)
+	n.AddNode("b", Position{X: 10}, AdHoc)
+	got := 0
+	n.SetHandler("b", func(string, []byte) { got++ })
+	n.SetHandler("a", func(string, []byte) {})
+	// Loss off: these tests are about the budget, not the dice.
+	n.Node("a").Class.Loss = 0
+	n.Node("b").Class.Loss = 0
+	return s, n, &got
+}
+
+func TestEnergyBudgetStopsSender(t *testing.T) {
+	s, n, got := energyRig(t)
+	// AdHoc charges 1 energy/byte: a 100-byte budget allows one 80-byte
+	// send and then nothing.
+	n.SetEnergyBudget("a", 100)
+	if err := n.Send("a", "b", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if *got != 1 {
+		t.Fatalf("first send not delivered (got %d)", *got)
+	}
+	if err := n.Send("a", "b", make([]byte, 80)); err != nil {
+		t.Fatal(err) // 80 < 100: the budget is not yet spent
+	}
+	s.RunFor(time.Second)
+	if *got != 2 {
+		t.Fatalf("second send not delivered (got %d)", *got)
+	}
+	// 160 energy consumed >= 100: the radio is now dead.
+	err := n.Send("a", "b", []byte{1})
+	var ex *ErrExhausted
+	if !errors.As(err, &ex) || ex.Node != "a" {
+		t.Fatalf("send after exhaustion = %v, want ErrExhausted{a}", err)
+	}
+	if bl := n.BatteryLevel("a"); bl != 0 {
+		t.Errorf("BatteryLevel after exhaustion = %v, want 0", bl)
+	}
+}
+
+func TestEnergyBudgetStopsReceiverAndBroadcast(t *testing.T) {
+	s, n, got := energyRig(t)
+	n.SetEnergyBudget("b", 50)
+	if err := n.Send("a", "b", make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if *got != 1 {
+		t.Fatalf("delivery within budget failed (got %d)", *got)
+	}
+	// b's 60 energy exceeded its 50 budget: further deliveries are
+	// discarded on arrival, and b cannot broadcast.
+	if err := n.Send("a", "b", make([]byte, 10)); err != nil {
+		t.Fatal(err) // connectivity is untouched; the send itself succeeds
+	}
+	s.RunFor(time.Second)
+	if *got != 1 {
+		t.Fatalf("delivery to exhausted node went through (got %d)", *got)
+	}
+	if sent := n.Broadcast("b", []byte{1}); sent != 0 {
+		t.Errorf("exhausted node broadcast to %d neighbors, want 0", sent)
+	}
+	// The budget never touches topology: a and b still count as connected.
+	if !n.Connected("a", "b") {
+		t.Error("exhaustion changed connectivity")
+	}
+}
+
+func TestEnergyBudgetZeroIsInert(t *testing.T) {
+	s, n, got := energyRig(t)
+	for i := 0; i < 50; i++ {
+		if err := n.Send("a", "b", make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(time.Minute)
+	if *got != 50 {
+		t.Fatalf("unbudgeted node dropped deliveries: got %d/50", *got)
+	}
+	if bl := n.BatteryLevel("a"); bl != 1 {
+		t.Errorf("BatteryLevel without budget = %v, want 1", bl)
+	}
+}
+
+func TestBatteryLevel(t *testing.T) {
+	s, n, _ := energyRig(t)
+	n.SetEnergyBudget("a", 200)
+	if bl := n.BatteryLevel("a"); bl != 1 {
+		t.Fatalf("fresh battery = %v, want 1", bl)
+	}
+	if err := n.Send("a", "b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if bl := n.BatteryLevel("a"); bl != 0.75 {
+		t.Errorf("battery after 50/200 energy = %v, want 0.75", bl)
+	}
+	if bl := n.BatteryLevel("nosuch"); bl != 1 {
+		t.Errorf("unknown node battery = %v, want 1", bl)
+	}
+}
+
+func TestLinkStateObservesImpairments(t *testing.T) {
+	_, n, _ := energyRig(t)
+	bw, lat, loss := n.LinkState("a")
+	if bw != AdHoc.BandwidthBps || lat != AdHoc.Latency || loss != 0 {
+		t.Fatalf("clean link state = %v %v %v", bw, lat, loss)
+	}
+	n.ImpairAll(Impairment{Drop: 0.2, JitterTicks: 4, JitterTick: 100 * time.Millisecond, BandwidthFactor: 0.5})
+	n.ImpairNode("a", Impairment{Drop: 0.5})
+	bw, lat, loss = n.LinkState("a")
+	if bw != AdHoc.BandwidthBps*0.5 {
+		t.Errorf("impaired bandwidth = %v", bw)
+	}
+	if want := AdHoc.Latency + 200*time.Millisecond; lat != want {
+		t.Errorf("impaired latency = %v, want %v", lat, want)
+	}
+	// Drops compose as independent events: 1-(1-0.2)*(1-0.5) = 0.6.
+	if loss < 0.599 || loss > 0.601 {
+		t.Errorf("impaired loss = %v, want 0.6", loss)
+	}
+	if bw, lat, loss = n.LinkState("nosuch"); bw != 0 || lat != 0 || loss != 0 {
+		t.Errorf("unknown node link state = %v %v %v", bw, lat, loss)
+	}
+}

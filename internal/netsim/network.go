@@ -116,6 +116,16 @@ type Node struct {
 	handler Handler
 	usage   Usage
 
+	// EnergyBudget, when positive, is the node's battery: once cumulative
+	// usage.Energy reaches it, the radio is dead — the node neither
+	// transmits nor receives (deliveries in flight are discarded on
+	// arrival). 0 (the default) means an unlimited power supply, and the
+	// budget is never consulted. Budget exhaustion is deliberately kept out
+	// of Connected/Neighbors: it does not advance the topology epoch, so
+	// cached neighbor sets stay valid and the enforcement point is the
+	// transmission itself, serial on the event loop at any worker count.
+	EnergyBudget float64
+
 	// waypoint state used by RandomWaypoint.
 	target  Position
 	speed   float64
@@ -140,6 +150,24 @@ func (n *Node) EffectiveRange() float64 {
 		return n.Range
 	}
 	return n.Class.Range
+}
+
+// exhausted reports whether the node's energy budget is spent.
+func (n *Node) exhausted() bool {
+	return n.EnergyBudget > 0 && n.usage.Energy >= n.EnergyBudget
+}
+
+// Battery returns the node's remaining battery fraction in [0,1]: 1 with no
+// budget configured, else 1 - Energy/EnergyBudget clamped at 0.
+func (n *Node) Battery() float64 {
+	if n.EnergyBudget <= 0 {
+		return 1
+	}
+	left := 1 - n.usage.Energy/n.EnergyBudget
+	if left < 0 {
+		return 0
+	}
+	return left
 }
 
 // Usage returns a copy of the node's cumulative traffic account.
@@ -573,6 +601,65 @@ func (e *ErrUnreachable) Error() string {
 	return fmt.Sprintf("netsim: %s cannot reach %s", e.From, e.To)
 }
 
+// ErrExhausted reports a send refused because the sender's energy budget is
+// spent.
+type ErrExhausted struct {
+	Node string
+}
+
+func (e *ErrExhausted) Error() string {
+	return fmt.Sprintf("netsim: %s has exhausted its energy budget", e.Node)
+}
+
+// SetEnergyBudget sets (or clears, with 0) a node's battery budget. See
+// Node.EnergyBudget for the exhaustion semantics.
+func (n *Network) SetEnergyBudget(id string, budget float64) {
+	if node := n.nodes[id]; node != nil {
+		node.EnergyBudget = budget
+	}
+}
+
+// BatteryLevel returns a node's remaining battery fraction in [0,1]
+// (1 for unknown nodes and nodes without a budget).
+func (n *Network) BatteryLevel(id string) float64 {
+	if node := n.nodes[id]; node != nil {
+		return node.Battery()
+	}
+	return 1
+}
+
+// LinkState reports a node's current effective link parameters as the
+// device itself could observe them: its class parameters degraded by the
+// global and node-level impairment rules. Pair-level rules are per-peer and
+// excluded — this is the node's own view of its radio, which is what a
+// context sensor can honestly sample.
+func (n *Network) LinkState(id string) (bandwidthBps float64, latency time.Duration, loss float64) {
+	node := n.nodes[id]
+	if node == nil {
+		return 0, 0, 0
+	}
+	bandwidthBps = node.Class.BandwidthBps
+	latency = node.Class.Latency
+	loss = node.Class.Loss
+	if n.impaired {
+		imp := n.impDefault
+		if len(n.impNode) > 0 {
+			if ni, ok := n.impNode[id]; ok {
+				imp = composeImpairments(imp, ni)
+			}
+		}
+		if !imp.IsZero() {
+			if f := imp.BandwidthFactor; f > 0 && f < 1 {
+				bandwidthBps *= f
+			}
+			// Expected jitter of a uniform 0..N tick draw is N/2 ticks.
+			latency += time.Duration(imp.JitterTicks) * imp.jitterTick() / 2
+			loss = 1 - (1-loss)*(1-imp.Drop)
+		}
+	}
+	return bandwidthBps, latency, loss
+}
+
 // bottleneck returns the effective link parameters of a pair: the slower
 // bandwidth and the larger latency of the two endpoint classes. A LAN server
 // talking to a GPRS phone moves data at GPRS speed.
@@ -610,6 +697,9 @@ func (n *Network) Send(from, to string, payload []byte) error {
 	}
 	if !n.Connected(from, to) {
 		return &ErrUnreachable{From: from, To: to}
+	}
+	if src.exhausted() {
+		return &ErrExhausted{Node: from}
 	}
 	n.transmit(src, dst, payload)
 	return nil
@@ -677,7 +767,7 @@ func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 	fromID, toID := src.ID, dst.ID
 	n.sim.Schedule(t+jitter, func() {
 		d := n.nodes[toID]
-		if d == nil || !d.Up || d.handler == nil {
+		if d == nil || !d.Up || d.handler == nil || d.exhausted() {
 			return
 		}
 		d.usage.BytesRecv += int64(len(data))
@@ -695,7 +785,7 @@ func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 // so handlers must not mutate delivered payloads.
 func (n *Network) Broadcast(from string, payload []byte) int {
 	src := n.nodes[from]
-	if src == nil || !src.Up {
+	if src == nil || !src.Up || src.exhausted() {
 		return 0
 	}
 	neighbors := n.neighborsOf(from)
@@ -712,7 +802,9 @@ func (n *Network) Broadcast(from string, payload []byte) int {
 
 // SendRouted transmits payload along the current shortest path, charging
 // every hop. It returns the hop count used, or an error if no path exists at
-// send time. Intermediate hops are simulated store-and-forward relays.
+// send time (or the origin's battery is spent — the same loud failure Send
+// gives; relays that die mid-path drop silently, like relays that go down).
+// Intermediate hops are simulated store-and-forward relays.
 func (n *Network) SendRouted(from, to string, payload []byte) (int, error) {
 	path := n.Route(from, to)
 	if path == nil {
@@ -720,6 +812,9 @@ func (n *Network) SendRouted(from, to string, payload []byte) (int, error) {
 	}
 	if len(path) == 1 {
 		return 0, fmt.Errorf("netsim: routed send to self %q", from)
+	}
+	if src := n.nodes[from]; src != nil && src.exhausted() {
+		return 0, &ErrExhausted{Node: from}
 	}
 	n.forwardAlong(path, payload)
 	return len(path) - 1, nil
@@ -735,7 +830,7 @@ func (n *Network) forwardAlong(path []string, payload []byte) {
 	}
 	cur, next := path[0], path[1]
 	src, dst := n.nodes[cur], n.nodes[next]
-	if src == nil || dst == nil {
+	if src == nil || dst == nil || src.exhausted() {
 		return
 	}
 	if !n.Connected(cur, next) {
@@ -783,7 +878,7 @@ func (n *Network) forwardAlong(path []string, payload []byte) {
 	copy(rest, path[1:])
 	n.sim.Schedule(t+jitter, func() {
 		relay := n.nodes[rest[0]]
-		if relay == nil || !relay.Up {
+		if relay == nil || !relay.Up || relay.exhausted() {
 			return
 		}
 		relay.usage.BytesRecv += int64(size)

@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"math"
+	"time"
+
+	"logmob/internal/ctxsvc"
+)
+
+// This file is the live half of paradigm selection: a decider built to sit
+// in the middleware's sense→decide→act loop. Where CostDecider scores a
+// snapshot of the context, AdaptiveDecider consumes the *stream* of sensed
+// attributes — smoothing each one with an EWMA filter so a single noisy
+// sample cannot flip the decision, weighting energy by the remaining
+// battery so a draining device grows frugal, and applying switching
+// hysteresis so the selection is stable between genuinely different
+// regimes instead of flapping on the boundary.
+
+// EWMA is an exponentially weighted moving average over a sensed stream.
+// The zero value is ready to use with the given alpha.
+type EWMA struct {
+	// Alpha is the weight of the newest sample in (0,1]; 1 disables
+	// smoothing. Values outside the range are treated as 1.
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// Observe folds one sample in and returns the smoothed value.
+func (e *EWMA) Observe(x float64) float64 {
+	a := e.Alpha
+	if a <= 0 || a > 1 || math.IsNaN(a) {
+		a = 1
+	}
+	if !e.init || math.IsNaN(e.val) {
+		e.val, e.init = x, true
+	} else {
+		e.val = a*x + (1-a)*e.val
+	}
+	return e.val
+}
+
+// Value returns the current smoothed value (0 before the first sample).
+func (e *EWMA) Value() float64 { return e.val }
+
+// AdaptiveDecider selects paradigms from live context with EWMA smoothing,
+// battery-aware energy weighting and switching hysteresis. It is stateful:
+// use one instance per host (the adapt.Engine owns one), never shared.
+type AdaptiveDecider struct {
+	// Objective weights the cost-model score; the zero value minimises
+	// bytes only, like CostDecider.
+	Objective Objective
+	// Alpha is the EWMA weight of the newest context sample; 0 defaults
+	// to 0.5 (half-life of one sensing tick).
+	Alpha float64
+	// Hysteresis is the relative margin a challenger paradigm must beat
+	// the incumbent's score by before the decider switches; 0 defaults to
+	// 0.15, negative disables hysteresis entirely.
+	Hysteresis float64
+	// BatteryAware scales the energy weight by 1/battery as the sensed
+	// battery level falls, so a draining device shifts toward the
+	// lowest-energy paradigm before the radio dies.
+	BatteryAware bool
+	// Allowed restricts the choice; empty means all four. Under Decide it
+	// is a configured ban, intersected with the caller's executable set.
+	Allowed []Paradigm
+
+	bwF, rttF, lossF, energyF, battF EWMA
+	envLocal, envRemote              float64
+	lastCostPerByte                  float64
+	current                          Paradigm
+	switches                         int64
+	decisions                        int64
+}
+
+var _ Decider = (*AdaptiveDecider)(nil)
+
+// Name implements Decider.
+func (d *AdaptiveDecider) Name() string { return "adaptive" }
+
+// Switches returns how many times the selection changed after the first
+// decision.
+func (d *AdaptiveDecider) Switches() int64 { return d.switches }
+
+// Decisions returns how many times Choose ran.
+func (d *AdaptiveDecider) Decisions() int64 { return d.decisions }
+
+// Current returns the incumbent paradigm (0 before the first decision).
+func (d *AdaptiveDecider) Current() Paradigm { return d.current }
+
+func (d *AdaptiveDecider) alpha() float64 {
+	if d.Alpha > 0 && d.Alpha <= 1 {
+		return d.Alpha
+	}
+	return 0.5
+}
+
+func (d *AdaptiveDecider) hysteresis() float64 {
+	switch {
+	case d.Hysteresis < 0:
+		return 0
+	case d.Hysteresis == 0:
+		return 0.15
+	default:
+		return d.Hysteresis
+	}
+}
+
+// link samples the sensed link attributes through the EWMA filters and
+// returns the smoothed link the score uses.
+func (d *AdaptiveDecider) link(ctx *ctxsvc.Service) (Link, float64) {
+	raw := LinkFromContext(ctx)
+	a := d.alpha()
+	for _, f := range []*EWMA{&d.bwF, &d.rttF, &d.lossF, &d.energyF, &d.battF} {
+		f.Alpha = a
+	}
+	smoothed := Link{
+		BandwidthBps:  d.bwF.Observe(raw.BandwidthBps),
+		RTT:           time.Duration(d.rttF.Observe(raw.RTT.Seconds()) * float64(time.Second)),
+		CostPerByte:   raw.CostPerByte,
+		Loss:          d.lossF.Observe(raw.loss()),
+		LossPenalty:   raw.LossPenalty,
+		EnergyPerByte: d.energyF.Observe(raw.EnergyPerByte),
+	}
+	d.lastCostPerByte = raw.CostPerByte
+	battery := 1.0
+	if ctx != nil {
+		battery = ctx.GetNum(ctxsvc.KeyBattery, 1)
+	}
+	battery = d.battF.Observe(clamp01(battery))
+	return smoothed, battery
+}
+
+// Choose implements Decider.
+func (d *AdaptiveDecider) Choose(t Task, ctx *ctxsvc.Service) Paradigm {
+	allowed := d.Allowed
+	if len(allowed) == 0 {
+		allowed = Paradigms()
+	}
+	return d.choose(t, ctx, allowed)
+}
+
+// ChooseAllowed implements AllowedChooser. Like CostDecider, a non-empty
+// Allowed field is a configured ban honoured by intersection with the
+// caller's set; a disjoint combination errors.
+func (d *AdaptiveDecider) ChooseAllowed(t Task, ctx *ctxsvc.Service, allowed []Paradigm) (Paradigm, error) {
+	both, err := intersectAllowed(d.Allowed, allowed)
+	if err != nil {
+		return 0, err
+	}
+	return d.choose(t, ctx, both), nil
+}
+
+// Scores evaluates the allowed paradigms against the current smoothed
+// context WITHOUT advancing the filters or the incumbent — the engine uses
+// it to account regret after a decision. The link is the same one the
+// last choose scored with, so the regret baseline matches the decision.
+func (d *AdaptiveDecider) Scores(t Task, allowed []Paradigm) map[Paradigm]float64 {
+	link := Link{
+		BandwidthBps:  d.bwF.Value(),
+		RTT:           time.Duration(d.rttF.Value() * float64(time.Second)),
+		CostPerByte:   d.lastCostPerByte,
+		Loss:          d.lossF.Value(),
+		EnergyPerByte: d.energyF.Value(),
+	}
+	obj := d.effectiveObjective(d.battF.Value())
+	out := make(map[Paradigm]float64, len(allowed))
+	for _, p := range allowed {
+		out[p] = obj.score(estimate(p, t, link, Env{LocalCPUFactor: d.envLocal, RemoteCPUFactor: d.envRemote}))
+	}
+	return out
+}
+
+// effectiveObjective applies the battery-aware energy scaling: at full
+// battery the configured weight holds; as the battery drains the energy
+// term grows as 1/battery (floored at 5% to stay finite).
+func (d *AdaptiveDecider) effectiveObjective(battery float64) Objective {
+	obj := d.Objective
+	if d.BatteryAware && obj.EnergyWeight > 0 {
+		if battery < 0.05 {
+			battery = 0.05
+		}
+		obj.EnergyWeight /= battery
+	}
+	return obj
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case math.IsNaN(v) || v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// choose is the restricted selection Decide and Choose share.
+func (d *AdaptiveDecider) choose(t Task, ctx *ctxsvc.Service, allowed []Paradigm) Paradigm {
+	link, battery := d.link(ctx)
+	env := EnvFromContext(ctx)
+	d.envLocal, d.envRemote = env.LocalCPUFactor, env.RemoteCPUFactor
+	obj := d.effectiveObjective(battery)
+
+	best := allowed[0]
+	bestScore := math.Inf(1)
+	curScore := math.NaN()
+	for _, p := range allowed {
+		score := obj.score(estimate(p, t, link, env))
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+		if p == d.current {
+			curScore = score
+		}
+	}
+	d.decisions++
+	// Hysteresis: stick with a still-allowed incumbent unless the best
+	// challenger undercuts it by the margin.
+	if !math.IsNaN(curScore) && best != d.current {
+		if bestScore >= curScore*(1-d.hysteresis()) {
+			return d.current
+		}
+	}
+	if d.current != 0 && best != d.current {
+		d.switches++
+	}
+	d.current = best
+	return best
+}

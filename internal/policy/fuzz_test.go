@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"logmob/internal/ctxsvc"
+)
+
+// FuzzDecide feeds hostile task models and paradigm sets to the validating
+// decision entry point: whatever the bytes say — negative sizes, NaN
+// compute, empty or garbage allowed sets, poisoned context attributes — the
+// decision must either error or land on a paradigm from the allowed set,
+// and must never panic.
+func FuzzDecide(f *testing.F) {
+	f.Add(int64(10), int64(100), int64(100), int64(2048), int64(0), int64(16), 0.5, int64(1), uint8(0b1111), 0.1, 650e3)
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), 0.0, int64(0), uint8(0), 0.0, 0.0)
+	f.Add(int64(-1), int64(-50), int64(1), int64(1), int64(1), int64(1), math.NaN(), int64(-3), uint8(0b0101), math.Inf(1), -1.0)
+	f.Add(int64(1<<40), int64(1<<40), int64(1<<40), int64(1<<40), int64(1<<40), int64(1<<40), math.Inf(-1), int64(1<<40), uint8(0b1000), -0.5, math.NaN())
+
+	deciders := func() []Decider {
+		return []Decider{
+			&CostDecider{Objective: DefaultObjective()},
+			&CostDecider{Objective: Objective{EnergyWeight: 1, LatencyWeight: 50}},
+			DefaultRules(),
+			&AdaptiveDecider{Objective: Objective{BytesWeight: 1, EnergyWeight: 2, LatencyWeight: 100}, BatteryAware: true},
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, inter, req, reply, code, state, result int64,
+		compute float64, hosts int64, allowedMask uint8, loss, bw float64) {
+		task := Task{
+			Interactions: inter, ReqBytes: req, ReplyBytes: reply,
+			CodeBytes: code, StateBytes: state, ResultBytes: result,
+			ComputeUnits: compute, Hosts: hosts,
+		}
+		var allowed []Paradigm
+		for i, p := range Paradigms() {
+			if allowedMask&(1<<i) != 0 {
+				allowed = append(allowed, p)
+			}
+		}
+		// A poisoned context: NaN/Inf loss and bandwidth flow through the
+		// sensing keys exactly as a buggy sensor would write them.
+		ctx := ctxsvc.New(func() time.Duration { return 0 }, 4)
+		ctx.SetNum(ctxsvc.KeyLoss, loss)
+		ctx.SetNum(ctxsvc.KeyBandwidth, bw)
+		ctx.SetNum(ctxsvc.KeyBattery, loss-bw)
+
+		for _, d := range deciders() {
+			chosen, err := Decide(d, task, allowed, ctx)
+			if err != nil {
+				continue // hostile input must error, and did
+			}
+			if task.Validate() != nil {
+				t.Fatalf("%s: invalid task %+v decided without error", d.Name(), task)
+			}
+			if len(allowed) == 0 {
+				t.Fatalf("%s: empty allowed set decided without error", d.Name())
+			}
+			ok := false
+			for _, p := range allowed {
+				if p == chosen {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: chose %v outside allowed %v", d.Name(), chosen, allowed)
+			}
+		}
+	})
+}

@@ -11,7 +11,9 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"logmob/internal/ctxsvc"
@@ -80,6 +82,35 @@ type Link struct {
 	RTT time.Duration
 	// CostPerByte is monetary cost per byte.
 	CostPerByte float64
+	// Loss is the observed per-message loss probability in [0,1). 0 keeps
+	// the loss-free model.
+	Loss float64
+	// LossPenalty is the expected delay each retransmission costs (the
+	// transport's retry timeout); 0 defaults to 2s when Loss > 0.
+	LossPenalty time.Duration
+	// EnergyPerByte is the battery energy the link charges per byte moved,
+	// in the simulator's energy units. 0 keeps energy out of the estimates.
+	EnergyPerByte float64
+}
+
+func (l Link) lossPenalty() time.Duration {
+	if l.LossPenalty > 0 {
+		return l.LossPenalty
+	}
+	return 2 * time.Second
+}
+
+// loss returns the link loss clamped to [0, 0.99]: the model degrades
+// gracefully instead of dividing by zero on a fully dead link.
+func (l Link) loss() float64 {
+	switch {
+	case !(l.Loss > 0): // negative and NaN both mean "no loss model"
+		return 0
+	case l.Loss > 0.99:
+		return 0.99
+	default:
+		return l.Loss
+	}
 }
 
 // Env characterises the compute environment.
@@ -116,9 +147,70 @@ func Traffic(p Paradigm, t Task) int64 {
 	}
 }
 
+// Messages returns how many message legs the task puts on the device's link
+// under each paradigm: the per-message exposure to loss. CS pays a request
+// and a reply per round; REV and COD pay one shipment and one reply; MA pays
+// one transfer per hop out plus the return.
+func Messages(p Paradigm, t Task) int64 {
+	switch p {
+	case CS:
+		return 2 * t.Interactions
+	case REV, COD:
+		return 2
+	case MA:
+		hops := t.Hosts
+		if hops < 1 {
+			hops = 1
+		}
+		return hops + 1
+	default:
+		return 0
+	}
+}
+
+// UplinkBytes returns the share of Traffic the device transmits itself;
+// DownlinkBytes is the share it receives. The split matters under loss: a
+// sender retransmits its frames (paying the energy each attempt), while a
+// receiver pays only for the copy that arrives.
+func UplinkBytes(p Paradigm, t Task) int64 {
+	switch p {
+	case CS:
+		return t.Interactions * t.ReqBytes
+	case REV:
+		return t.CodeBytes + t.ReqBytes
+	case COD:
+		return 0 // the fetch request is noise next to the component
+	case MA:
+		return t.CodeBytes + t.StateBytes
+	default:
+		return 0
+	}
+}
+
+// DownlinkBytes is the received share of Traffic (see UplinkBytes).
+func DownlinkBytes(p Paradigm, t Task) int64 {
+	return Traffic(p, t) - UplinkBytes(p, t)
+}
+
+// EnergyCost estimates the battery energy the task drains from the device
+// under each paradigm: link traffic times the link's per-byte energy, with
+// the transmitted share inflated by the expected retransmissions at the
+// observed loss rate. This is what makes a draining device prefer
+// receive-heavy paradigms (fetch the code) over send-heavy ones (ship the
+// code) on a lossy link.
+func EnergyCost(p Paradigm, t Task, l Link) float64 {
+	up := float64(UplinkBytes(p, t))
+	down := float64(DownlinkBytes(p, t))
+	if loss := l.loss(); loss > 0 {
+		up /= 1 - loss // expected attempts per transmitted frame
+	}
+	return (up + down) * l.EnergyPerByte
+}
+
 // Latency estimates wall-clock completion time for the task under each
 // paradigm on the given link and environment. It combines transfer time,
-// per-round RTTs and compute time at the executing side.
+// per-round RTTs, compute time at the executing side and — when the link
+// reports loss — the expected retransmission delay per message leg.
 func Latency(p Paradigm, t Task, l Link, e Env) time.Duration {
 	if l.BandwidthBps <= 0 {
 		l.BandwidthBps = 1
@@ -131,16 +223,17 @@ func Latency(p Paradigm, t Task, l Link, e Env) time.Duration {
 	compute := func(factor float64) time.Duration {
 		return time.Duration(t.ComputeUnits / factor * float64(time.Second))
 	}
+	var base time.Duration
 	switch p {
 	case CS:
 		// N rounds, each paying one RTT plus transfer; compute is remote.
 		rounds := time.Duration(t.Interactions) * l.RTT
-		return rounds + xfer(t.Interactions*(t.ReqBytes+t.ReplyBytes)) + compute(remote)
+		base = rounds + xfer(t.Interactions*(t.ReqBytes+t.ReplyBytes)) + compute(remote)
 	case REV:
-		return 2*l.RTT + xfer(t.CodeBytes+t.ReqBytes+t.ResultBytes) + compute(remote)
+		base = 2*l.RTT + xfer(t.CodeBytes+t.ReqBytes+t.ResultBytes) + compute(remote)
 	case COD:
 		// One fetch round trip, then local interaction and compute.
-		return l.RTT + xfer(t.CodeBytes+t.ReplyBytes) + compute(local)
+		base = l.RTT + xfer(t.CodeBytes+t.ReplyBytes) + compute(local)
 	case MA:
 		hops := t.Hosts
 		if hops < 1 {
@@ -148,10 +241,19 @@ func Latency(p Paradigm, t Task, l Link, e Env) time.Duration {
 		}
 		// Device pays first and last hop; intermediate hops assumed on
 		// fast infrastructure and charged one RTT each.
-		return time.Duration(hops+1)*l.RTT + xfer(t.CodeBytes+2*t.StateBytes+t.ResultBytes) + compute(remote)
+		base = time.Duration(hops+1)*l.RTT + xfer(t.CodeBytes+2*t.StateBytes+t.ResultBytes) + compute(remote)
 	default:
 		return 0
 	}
+	if loss := l.loss(); loss > 0 {
+		// Each message leg expects loss/(1-loss) retransmissions, each
+		// costing one retry timeout. Chatty paradigms expose more legs, so
+		// loss separates them from ship-once paradigms — which is exactly
+		// what the live decider needs to see.
+		retrans := float64(Messages(p, t)) * loss / (1 - loss)
+		base += time.Duration(retrans * float64(l.lossPenalty()))
+	}
+	return base
 }
 
 // Cost returns the monetary cost of the task under each paradigm on the
@@ -173,30 +275,39 @@ type Estimate struct {
 	Bytes    int64
 	Latency  time.Duration
 	Cost     float64
+	// Energy is the predicted battery drain (see EnergyCost).
+	Energy float64
+}
+
+// estimate evaluates one paradigm.
+func estimate(p Paradigm, t Task, l Link, e Env) Estimate {
+	return Estimate{
+		Paradigm: p,
+		Bytes:    Traffic(p, t),
+		Latency:  Latency(p, t, l, e),
+		Cost:     Cost(p, t, l),
+		Energy:   EnergyCost(p, t, l),
+	}
 }
 
 // EstimateAll evaluates all four paradigms for the task.
 func EstimateAll(t Task, l Link, e Env) []Estimate {
 	out := make([]Estimate, 0, 4)
 	for _, p := range Paradigms() {
-		out = append(out, Estimate{
-			Paradigm: p,
-			Bytes:    Traffic(p, t),
-			Latency:  Latency(p, t, l, e),
-			Cost:     Cost(p, t, l),
-		})
+		out = append(out, estimate(p, t, l, e))
 	}
 	return out
 }
 
 // Objective weights the decider's optimisation.
 type Objective struct {
-	// BytesWeight, LatencyWeight (per second) and CostWeight scale the
-	// three estimate dimensions into one score. Zero-value objective
+	// BytesWeight, LatencyWeight (per second), CostWeight and EnergyWeight
+	// scale the estimate dimensions into one score. Zero-value objective
 	// minimises bytes only.
 	BytesWeight   float64
 	LatencyWeight float64
 	CostWeight    float64
+	EnergyWeight  float64
 }
 
 // DefaultObjective minimises traffic with a mild latency term.
@@ -205,12 +316,13 @@ func DefaultObjective() Objective {
 }
 
 func (o Objective) score(e Estimate) float64 {
-	if o.BytesWeight == 0 && o.LatencyWeight == 0 && o.CostWeight == 0 {
+	if o.BytesWeight == 0 && o.LatencyWeight == 0 && o.CostWeight == 0 && o.EnergyWeight == 0 {
 		o.BytesWeight = 1
 	}
 	return o.BytesWeight*float64(e.Bytes) +
 		o.LatencyWeight*e.Latency.Seconds() +
-		o.CostWeight*e.Cost
+		o.CostWeight*e.Cost +
+		o.EnergyWeight*e.Energy
 }
 
 // Decider chooses a paradigm for a task given the host's current context.
@@ -244,6 +356,14 @@ func LinkFromContext(ctx *ctxsvc.Service) Link {
 	l.BandwidthBps = ctx.GetNum(ctxsvc.KeyBandwidth, l.BandwidthBps)
 	l.RTT = time.Duration(ctx.GetNum(ctxsvc.KeyLatency, l.RTT.Seconds()) * float64(time.Second))
 	l.CostPerByte = ctx.GetNum(ctxsvc.KeyCostPerByte, 0)
+	l.EnergyPerByte = ctx.GetNum(ctxsvc.KeyEnergyPerByte, 0)
+	// Loss evidence comes from two sensors: the link state itself and the
+	// ack/retry layer's observed retry ratio. Take whichever is worse —
+	// both are lower bounds on the true loss the device experiences.
+	l.Loss = ctx.GetNum(ctxsvc.KeyLoss, 0)
+	if rr := ctx.GetNum(ctxsvc.KeyRetryRate, 0); rr > l.Loss {
+		l.Loss = rr
+	}
 	return l
 }
 
@@ -270,13 +390,7 @@ func (d *CostDecider) Choose(t Task, ctx *ctxsvc.Service) Paradigm {
 	best := allowed[0]
 	bestScore := 0.0
 	for i, p := range allowed {
-		est := Estimate{
-			Paradigm: p,
-			Bytes:    Traffic(p, t),
-			Latency:  Latency(p, t, link, env),
-			Cost:     Cost(p, t, link),
-		}
-		score := obj.score(est)
+		score := obj.score(estimate(p, t, link, env))
 		if i == 0 || score < bestScore {
 			best, bestScore = p, score
 		}
@@ -310,6 +424,120 @@ func DefaultRules() *RuleDecider {
 
 // Name implements Decider.
 func (d *RuleDecider) Name() string { return "rules" }
+
+// ErrInvalidTask wraps every Task validation failure.
+var ErrInvalidTask = errors.New("policy: invalid task")
+
+func invalidTaskf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidTask, fmt.Sprintf(format, args...))
+}
+
+// Validate rejects task models the traffic model has no meaning for:
+// negative sizes or rounds, and non-finite or negative compute. The zero
+// Task is valid (a one-shot, zero-byte interaction).
+func (t Task) Validate() error {
+	sizes := []struct {
+		name string
+		v    int64
+	}{
+		{"interactions", t.Interactions},
+		{"request bytes", t.ReqBytes},
+		{"reply bytes", t.ReplyBytes},
+		{"code bytes", t.CodeBytes},
+		{"state bytes", t.StateBytes},
+		{"result bytes", t.ResultBytes},
+		{"hosts", t.Hosts},
+	}
+	for _, s := range sizes {
+		if s.v < 0 {
+			return invalidTaskf("negative %s %d", s.name, s.v)
+		}
+	}
+	if math.IsNaN(t.ComputeUnits) || math.IsInf(t.ComputeUnits, 0) || t.ComputeUnits < 0 {
+		return invalidTaskf("compute units %v are not finite and non-negative", t.ComputeUnits)
+	}
+	return nil
+}
+
+// Decide is the validating front door to a Decider: hostile task models
+// (negative sizes, NaN compute) and unusable paradigm sets error instead of
+// flowing into the arithmetic, and the decider's pick is clamped to the
+// allowed set. An empty allowed set is an error — a caller with nothing
+// executable has no decision to make.
+func Decide(d Decider, t Task, allowed []Paradigm, ctx *ctxsvc.Service) (Paradigm, error) {
+	if d == nil {
+		return 0, errors.New("policy: Decide requires a decider")
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if len(allowed) == 0 {
+		return 0, invalidTaskf("empty allowed paradigm set")
+	}
+	for _, p := range allowed {
+		if p < CS || p > MA {
+			return 0, invalidTaskf("unknown paradigm %d in allowed set", uint8(p))
+		}
+	}
+	// Deciders that understand restriction natively (AllowedChooser — both
+	// built-ins implement it) get the allowed set; anything else is
+	// clamped to it afterwards.
+	if ac, ok := d.(AllowedChooser); ok {
+		return ac.ChooseAllowed(t, ctx, allowed)
+	}
+	chosen := d.Choose(t, ctx)
+	for _, p := range allowed {
+		if p == chosen {
+			return chosen, nil
+		}
+	}
+	return allowed[0], nil
+}
+
+// AllowedChooser is the optional Decider extension Decide uses to pass the
+// caller's allowed set through instead of clamping the decider's
+// unrestricted pick after the fact. Implement it on any custom decider
+// whose scoring should see the restriction.
+type AllowedChooser interface {
+	// ChooseAllowed selects from the (non-empty, validated) allowed set.
+	ChooseAllowed(t Task, ctx *ctxsvc.Service, allowed []Paradigm) (Paradigm, error)
+}
+
+// intersectAllowed narrows the caller's allowed set by a decider's
+// configured ban (nil ban = no restriction); a disjoint combination
+// errors.
+func intersectAllowed(ban, allowed []Paradigm) ([]Paradigm, error) {
+	if len(ban) == 0 {
+		return allowed, nil
+	}
+	permitted := map[Paradigm]bool{}
+	for _, p := range ban {
+		permitted[p] = true
+	}
+	var both []Paradigm
+	for _, p := range allowed {
+		if permitted[p] {
+			both = append(both, p)
+		}
+	}
+	if len(both) == 0 {
+		return nil, invalidTaskf("allowed set disjoint from the decider's configured restriction")
+	}
+	return both, nil
+}
+
+// ChooseAllowed implements AllowedChooser. The decider's own Allowed field
+// is a configured ban ("restricts the choice") and is honoured by
+// intersection; a disjoint combination errors.
+func (d *CostDecider) ChooseAllowed(t Task, ctx *ctxsvc.Service, allowed []Paradigm) (Paradigm, error) {
+	both, err := intersectAllowed(d.Allowed, allowed)
+	if err != nil {
+		return 0, err
+	}
+	restricted := *d
+	restricted.Allowed = both
+	return restricted.Choose(t, ctx), nil
+}
 
 // Choose implements Decider.
 func (d *RuleDecider) Choose(t Task, ctx *ctxsvc.Service) Paradigm {

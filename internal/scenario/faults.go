@@ -288,6 +288,9 @@ func (s *Spec) Validate() error {
 		if !validFinite(p.Range) {
 			return invalidf("population %q range %v is not finite and non-negative", p.Name, p.Range)
 		}
+		if !validFinite(p.EnergyBudget) {
+			return invalidf("population %q energy budget %v is not finite and non-negative", p.Name, p.EnergyBudget)
+		}
 		if p.Beacon < 0 || p.MobilityTick < 0 {
 			return invalidf("population %q has a negative interval", p.Name)
 		}
@@ -303,7 +306,10 @@ func (s *Spec) Validate() error {
 			nodeNames[name] = true
 		}
 	}
-	return s.Faults.validate(popNames)
+	if err := s.Faults.validate(popNames); err != nil {
+		return err
+	}
+	return s.Sense.validate(popNames)
 }
 
 func validFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }

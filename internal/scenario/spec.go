@@ -82,6 +82,10 @@ type Population struct {
 	// AllowUnsigned relaxes the host's security policy to accept unsigned
 	// units — ad-hoc crowds without a shared publisher need it.
 	AllowUnsigned bool
+	// EnergyBudget, when positive, gives every member a battery: once the
+	// member's cumulative traffic energy reaches it, its radio is dead
+	// (netsim.Node.EnergyBudget). 0 means unlimited power.
+	EnergyBudget float64
 	// ConfigHost mutates the kernel config before the host is built.
 	ConfigHost func(*core.Config)
 	// Setup runs after the i-th member's host (and platform/beacon, if any)
@@ -156,6 +160,11 @@ type Spec struct {
 	// value is provably inert (fault-free runs are byte-identical with or
 	// without it); see Faults.
 	Faults Faults
+	// Sense is the live context-sensing layer: sampled link state, retry
+	// accounting, battery and neighborhood written into each host's
+	// context service at a fixed tick. The zero value is provably inert;
+	// see Sense.
+	Sense Sense
 }
 
 // Compile builds the world a Spec describes for one seed: hosts, platforms,
@@ -197,6 +206,9 @@ func (s *Spec) Compile(seed int64) *World {
 					p.ConfigHost(c)
 				}
 			})
+			if p.EnergyBudget > 0 {
+				w.Net.SetEnergyBudget(name, p.EnergyBudget)
+			}
 			w.Pops[p.Name] = append(w.Pops[p.Name], name)
 			if p.Agents {
 				w.Platforms[name] = agent.NewPlatform(h, agent.Env{
@@ -236,9 +248,10 @@ func (s *Spec) Compile(seed int64) *World {
 		}
 		w.Net.StartMobility(p.Mobility, tick, w.Pops[p.Name]...)
 	}
-	// The adversity layer wires last, over the fully built world. A zero
-	// Faults block compiles to nothing.
+	// The adversity layer wires last, over the fully built world, then the
+	// sensing layer taps the result. Zero-valued blocks compile to nothing.
 	s.Faults.compile(w, seed, s)
+	s.Sense.compile(w, s)
 	return w
 }
 

@@ -9,8 +9,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("All() has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("All() has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"logmob/internal/scenario"
+)
+
+// t14Defaults returns a fresh copy of T14's default parameters.
+func t14Defaults() map[string]float64 {
+	p := map[string]float64{}
+	for k, v := range T14().Params {
+		p[k] = v
+	}
+	return p
+}
+
+// t14Race runs one full race and returns completed-task counts per group.
+func t14Race(t *testing.T, seed int64, overrides map[string]float64) map[string]int64 {
+	t.Helper()
+	params := t14Defaults()
+	for k, v := range overrides {
+		params[k] = v
+	}
+	spec, groups := t14Build(params)
+	spec.Run(seed)
+	out := make(map[string]int64, len(groups))
+	for name, wl := range groups {
+		out[name] = wl.Stats.Completed
+	}
+	return out
+}
+
+// TestT14AdaptiveNeverWorstAndWins is the acceptance harness of the
+// adaptation loop: across a three-point loss sweep and a three-point
+// battery-budget sweep, the adaptive group must never be the worst group
+// at any point, and must strictly beat every fixed paradigm at one point
+// or more per axis. The runs are deterministic per seed, so this is a
+// regression gate, not a statistical hope.
+func TestT14AdaptiveNeverWorstAndWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full T14 sweeps in -short mode")
+	}
+	axes := []struct {
+		param  string
+		points []float64
+	}{
+		{"loss", []float64{0.05, 0.2, 0.35}},
+		{"battery", []float64{75000, 150000, 400000}},
+	}
+	for _, axis := range axes {
+		axis := axis
+		t.Run(axis.param, func(t *testing.T) {
+			winPoints := 0
+			for _, v := range axis.points {
+				scores := t14Race(t, 1, map[string]float64{axis.param: v})
+				adaptive := scores["adaptive"]
+				worst, best := int64(1<<62), int64(-1)
+				var detail []string
+				for _, g := range t14Groups {
+					if g.fixed == 0 {
+						continue
+					}
+					s := scores[g.name]
+					if s < worst {
+						worst = s
+					}
+					if s > best {
+						best = s
+					}
+					detail = append(detail, fmt.Sprintf("%s=%d", g.name, s))
+				}
+				t.Logf("%s=%g: adaptive=%d, fixed {%s}", axis.param, v, adaptive, strings.Join(detail, " "))
+				if adaptive < worst {
+					t.Errorf("%s=%g: adaptive (%d) is the worst group (fixed floor %d)", axis.param, v, adaptive, worst)
+				}
+				if adaptive > best {
+					winPoints++
+				}
+			}
+			if winPoints == 0 {
+				t.Errorf("adaptive won no point on the %s axis", axis.param)
+			}
+		})
+	}
+}
+
+// t14ShortParams shrinks the race for -short runs: fewer clients, a short
+// horizon, same code paths (sensing, per-shape engines, all five groups,
+// loss escalation, churn, batteries).
+var t14ShortParams = map[string]float64{"clients": 2, "duration": 90, "battery": 60000}
+
+// TestT14ShortDifferential proves the adaptation loop's determinism
+// contract at reduced scale on every CI run (including -race -short): the
+// rendered table at workers=4 is byte-identical to the serial engine.
+func TestT14ShortDifferential(t *testing.T) {
+	run := func(workers int) string {
+		scenario.SetDefaultWorkers(workers)
+		defer scenario.SetDefaultWorkers(1)
+		var sb strings.Builder
+		T14().RunWith(1, t14ShortParams).Render(&sb)
+		return sb.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("T14 short race differs across worker counts\n--- w=4 ---\n%s\n--- w=1 ---\n%s", parallel, serial)
+	}
+	for _, want := range []string{"adaptive tasks done", "adaptive switches", "rev tasks done", "batteries alive"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("T14 output missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestT14ParadigmSelector pins the -paradigm plumbing: a selector runs one
+// group (plus stations) and drops the others from the table.
+func TestT14ParadigmSelector(t *testing.T) {
+	params := t14Defaults()
+	for k, v := range t14ShortParams {
+		params[k] = v
+	}
+	params["paradigm"] = 2 // rev only
+	spec, groups := t14Build(params)
+	if len(groups) != 1 || groups["rev"] == nil {
+		t.Fatalf("selector built groups %v, want rev only", groups)
+	}
+	_, table := spec.Run(1)
+	var sb strings.Builder
+	table.Render(&sb)
+	if !strings.Contains(sb.String(), "rev tasks done") {
+		t.Errorf("rev rows missing:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "adaptive tasks done") {
+		t.Errorf("unselected group leaked into the table:\n%s", sb.String())
+	}
+	if groups["rev"].Stats.Completed == 0 {
+		t.Error("selected group completed nothing")
+	}
+}

@@ -220,7 +220,7 @@ func AdvertiseComponents(h *Host, adv update.Advertiser, ttl time.Duration) int 
 	return update.AdvertiseComponents(h, adv, ttl)
 }
 
-// Adaptive execution.
+// Adaptive execution: the sense→decide→act loop.
 type (
 	// TaskRunner executes tasks under the paradigm a decider selects.
 	TaskRunner = adapt.Runner
@@ -228,10 +228,43 @@ type (
 	TaskSpec = adapt.TaskSpec
 	// TaskOutcome reports how a task ran.
 	TaskOutcome = adapt.Outcome
+	// AdaptationEngine is a per-host adaptation engine: it re-selects the
+	// paradigm per interaction and records the decision trajectory
+	// (switches, model regret, history).
+	AdaptationEngine = adapt.Engine
+	// AdaptationDecision is one entry in an engine's trajectory.
+	AdaptationDecision = adapt.Decision
+	// AdaptiveDecider selects paradigms from live context with EWMA
+	// smoothing, battery-aware energy weighting and switching hysteresis.
+	AdaptiveDecider = policy.AdaptiveDecider
+	// ParadigmObjective weights the decision score (bytes, latency,
+	// monetary cost, energy).
+	ParadigmObjective = policy.Objective
+	// EWMA smooths a sensed numeric stream.
+	EWMA = policy.EWMA
 )
 
 // NewTaskRunner builds an adaptive runner on h (nil decider = cost model).
 func NewTaskRunner(h *Host, d ParadigmDecider) *TaskRunner { return adapt.NewRunner(h, d) }
+
+// NewAdaptationEngine builds a per-host adaptation engine on h (nil
+// decider = battery-aware adaptive decider over the default objective).
+func NewAdaptationEngine(h *Host, d ParadigmDecider) *AdaptationEngine { return adapt.NewEngine(h, d) }
+
+// DecideParadigm is the validating decision entry point: hostile task
+// models and empty allowed sets error instead of panicking, and the choice
+// is clamped to the allowed set.
+func DecideParadigm(d ParadigmDecider, t ParadigmTask, allowed []Paradigm, ctx *Context) (Paradigm, error) {
+	return policy.Decide(d, t, allowed, ctx)
+}
+
+// DecodeTaskArgs is the service-side inverse of the adaptive runner's CS
+// argument encoding; EncodeTaskReplies is the inverse of its reply
+// decoding. Services meant to interoperate with adaptive clients use both.
+func DecodeTaskArgs(frames [][]byte) []int64 { return adapt.DecodeArgs(frames) }
+
+// EncodeTaskReplies encodes service replies for adaptive CS clients.
+func EncodeTaskReplies(values []int64) [][]byte { return adapt.EncodeReplies(values) }
 
 // Simulation substrate.
 type (
@@ -378,9 +411,25 @@ type (
 	// at city scale): each member fetches from the nearest server as it
 	// roams into range, retrying until it succeeds.
 	FetchWaveWorkload = scenario.FetchWave
+	// AdaptiveWorkload runs a continuous task stream through per-client
+	// adaptation engines, re-selecting the paradigm per interaction from
+	// live sensed context (or pinned to one paradigm as a control group).
+	AdaptiveWorkload = scenario.Adaptive
+	// AdaptiveWorkloadStats records an AdaptiveWorkload's outcomes.
+	AdaptiveWorkloadStats = scenario.AdaptiveStats
 	// WorkloadFunc adapts a function to a ScenarioWorkload.
 	WorkloadFunc = scenario.Func
 )
+
+// ScenarioSense is a Scenario's live context-sensing block: link state,
+// retry accounting, battery and neighborhood sampled into each host's
+// context service at a fixed tick. The zero value is inert.
+type ScenarioSense = scenario.Sense
+
+// ComputeRefIPS is the reference CPU speed (VM instructions per second)
+// that ParadigmTask.ComputeUnits are measured against; a host with
+// HostConfig.ComputeRate == ComputeRefIPS is a 1.0-factor machine.
+const ComputeRefIPS = scenario.ComputeRefIPS
 
 // Built-in probes.
 type (
@@ -398,6 +447,10 @@ type (
 	FetchesProbe = scenario.Fetches
 	// NetTrafficProbe reports whole-network traffic totals.
 	NetTrafficProbe = scenario.NetTraffic
+	// DecisionsProbe reports an AdaptiveWorkload's trajectory: completions
+	// per paradigm, decision share over time, switches, regret, battery
+	// survival.
+	DecisionsProbe = scenario.Decisions
 	// ProbeFunc adapts a function to a ScenarioProbe.
 	ProbeFunc = scenario.ProbeFunc
 )
