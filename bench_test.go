@@ -6,6 +6,7 @@
 package logmob_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"logmob/internal/sim"
 	"logmob/internal/transport"
 	"logmob/internal/vm"
+	"logmob/internal/wire"
 )
 
 // benchExperiment runs one full experiment per iteration.
@@ -125,6 +127,77 @@ inner:
 		if _, err := vm.Restore(prog, host, 1000, snap); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkVMEval measures one REV-style evaluation the way a serving host
+// runs it: reinitialise a reused Machine for an already-assembled program,
+// enter main with an argument and run to halt. Reinit instead of vm.New is
+// the scratch-reuse path core takes for every repeat Eval of a cached
+// program.
+func BenchmarkVMEval(b *testing.B) {
+	prog := vm.MustAssemble(`
+.entry main
+main:
+	store 0
+	push 0
+loop:
+	load 0
+	jz done
+	load 0
+	add
+	load 0
+	push 1
+	sub
+	store 0
+	jmp loop
+done:
+	halt
+`)
+	m, err := vm.New(prog, nil, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reinit(prog, nil, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetEntry("main", 100); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFrame measures the transport read loop's per-frame decode
+// with a recycled scratch buffer (the ReadFrameInto path every TCP and mux
+// reader uses).
+func BenchmarkReadFrame(b *testing.B) {
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var enc bytes.Buffer
+	if _, err := wire.WriteFrame(&enc, payload); err != nil {
+		b.Fatal(err)
+	}
+	data := enc.Bytes()
+	br := bytes.NewReader(data)
+	var buf []byte
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(data)
+		frame, err := wire.ReadFrameInto(br, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = frame
 	}
 }
 

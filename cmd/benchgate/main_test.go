@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// jsonStream builds a test2json stream whose output events carry the given
+// benchmark result lines, splitting each line across two events the way
+// test2json does in practice.
+func jsonStream(lines ...string) string {
+	var sb strings.Builder
+	sb.WriteString(`{"Action":"start","Package":"logmob"}` + "\n")
+	for _, line := range lines {
+		half := len(line) / 2
+		fmt.Fprintf(&sb, `{"Action":"output","Package":"logmob","Output":%q}`+"\n", line[:half])
+		fmt.Fprintf(&sb, `{"Action":"output","Package":"logmob","Output":%q}`+"\n", line[half:]+"\n")
+	}
+	sb.WriteString(`{"Action":"pass","Package":"logmob"}` + "\n")
+	return sb.String()
+}
+
+func parse(t *testing.T, stream string) map[string]Result {
+	t.Helper()
+	res, err := ParseTestJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseTestJSON(t *testing.T) {
+	res := parse(t, jsonStream(
+		"BenchmarkT3Disaster-8 \t       1\t10836547258 ns/op\t5338420376 B/op\t56159848 allocs/op",
+		"BenchmarkDecide-8 \t 2840722\t       419.3 ns/op\t      48 B/op\t       3 allocs/op",
+		"pkg: logmob",
+	))
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2: %#v", len(res), res)
+	}
+	t3 := res["BenchmarkT3Disaster"]
+	if t3.NsPerOp != 10836547258 || t3.AllocsPerOp != 56159848 || !t3.HasAllocs {
+		t.Fatalf("T3 parsed wrong: %+v", t3)
+	}
+	if d := res["BenchmarkDecide"]; d.NsPerOp != 419.3 || d.AllocsPerOp != 3 {
+		t.Fatalf("Decide parsed wrong: %+v", d)
+	}
+}
+
+// TestGateFailsOnAllocRegression is the synthetic negative test the
+// acceptance criteria require: a >10% allocs/op regression must fail the
+// gate even when ns/op held steady.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	baseline := parse(t, jsonStream(
+		"BenchmarkT3Disaster-8 \t 1\t1000000 ns/op\t500000 B/op\t10000 allocs/op",
+	))
+	fresh := parse(t, jsonStream(
+		"BenchmarkT3Disaster-8 \t 1\t1000000 ns/op\t500000 B/op\t11500 allocs/op",
+	))
+	regs, missing, _ := Gate(baseline, fresh, []string{"BenchmarkT3Disaster"}, 0.10)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing benches: %v", missing)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want exactly one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestGateFailsOnTimeRegression(t *testing.T) {
+	baseline := parse(t, jsonStream("BenchmarkReadFrame-8 \t 100\t1000 ns/op\t0 B/op\t0 allocs/op"))
+	fresh := parse(t, jsonStream("BenchmarkReadFrame-8 \t 100\t1200 ns/op\t0 B/op\t0 allocs/op"))
+	regs, _, _ := Gate(baseline, fresh, []string{"BenchmarkReadFrame"}, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want exactly one ns/op regression, got %v", regs)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	baseline := parse(t, jsonStream(
+		"BenchmarkT3Disaster-8 \t 1\t1000000 ns/op\t500000 B/op\t10000 allocs/op",
+		"BenchmarkDecide-8 \t 100\t400 ns/op\t48 B/op\t3 allocs/op",
+	))
+	fresh := parse(t, jsonStream(
+		"BenchmarkT3Disaster-8 \t 1\t1050000 ns/op\t480000 B/op\t10500 allocs/op",
+		"BenchmarkDecide-8 \t 100\t390 ns/op\t48 B/op\t3 allocs/op",
+	))
+	regs, missing, _ := Gate(baseline, fresh,
+		[]string{"BenchmarkT3Disaster", "BenchmarkDecide"}, 0.10)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("want clean gate, got regs=%v missing=%v", regs, missing)
+	}
+}
+
+// TestGateMissingAndSkipped: a watched bench absent from the new run is a
+// failure (missing), absent from the baseline only a skip.
+func TestGateMissingAndSkipped(t *testing.T) {
+	baseline := parse(t, jsonStream("BenchmarkT3Disaster-8 \t 1\t1000 ns/op\t0 B/op\t5 allocs/op"))
+	fresh := parse(t, jsonStream("BenchmarkVMEval-8 \t 1\t10 ns/op\t0 B/op\t0 allocs/op"))
+	regs, missing, skipped := Gate(baseline, fresh,
+		[]string{"BenchmarkT3Disaster", "BenchmarkVMEval"}, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkT3Disaster" {
+		t.Fatalf("want T3 missing, got %v", missing)
+	}
+	if len(skipped) != 1 || skipped[0] != "BenchmarkVMEval" {
+		t.Fatalf("want VMEval skipped, got %v", skipped)
+	}
+}
+
+// TestGateAgainstCommittedBaseline parses the real committed baseline and
+// checks the default watch list is gateable (modulo benches newer than the
+// baseline, which only skip).
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	// The committed baseline lives at the repo root, two levels up.
+	res, err := parseFile("../../BENCH_logmob.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	benches := strings.Split(defaultBenches, ",")
+	regs, missing, _ := Gate(res, res, benches, 0.10)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("baseline does not gate cleanly against itself: regs=%v missing=%v", regs, missing)
+	}
+}

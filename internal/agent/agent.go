@@ -31,6 +31,7 @@ import (
 	"logmob/internal/core"
 	"logmob/internal/lmu"
 	"logmob/internal/vm"
+	"logmob/internal/wire"
 )
 
 // Trap codes used by the agent capability set.
@@ -127,6 +128,13 @@ type Platform struct {
 	nextID   int64
 	resident int
 	stats    Stats
+
+	// actPool recycles activations (and their embedded machines) between
+	// agent visits. The platform runs agents inline on one goroutine (see
+	// package doc), so a plain freelist suffices.
+	actPool []*activation
+	// nbrScratch is reused by pickNeighbor's candidate filtering.
+	nbrScratch []string
 }
 
 // NewPlatform attaches an agent runtime to h. The platform installs itself
@@ -218,39 +226,84 @@ func (p *Platform) onArrival(from string, u *lmu.Unit, ack func(bool, string)) {
 	p.activate(u, hops)
 }
 
-// activation is one run of an agent on this host.
+// activation is one run of an agent on this host. Activations (and their
+// embedded machines) are recycled through the platform's freelist: an
+// activation is returned to the pool exactly once, on the path that ends its
+// ownership (terminal finish, or a successful migration ack).
 type activation struct {
 	p       *Platform
 	unit    *lmu.Unit
-	m       *vm.Machine
+	m       vm.Machine
+	ec      core.ExecContext
+	table   *vm.HostTable
 	hops    int64
 	next    string // migration target selected by host calls
 	sleepMs int64  // sleep duration requested by a_sleep
+	itin    []string
+	itinOK  bool
+}
+
+// ExecCtx lets the shared base capability table find the unit context.
+func (a *activation) ExecCtx() *core.ExecContext { return &a.ec }
+
+// itinerary decodes KeyItinerary once per activation.
+func (a *activation) itinerary() []string {
+	if !a.itinOK {
+		a.itin = DecodeItinerary(a.unit.Data[KeyItinerary])
+		a.itinOK = true
+	}
+	return a.itin
+}
+
+func (p *Platform) getAct(u *lmu.Unit, hops int64) *activation {
+	var a *activation
+	if n := len(p.actPool); n > 0 {
+		a = p.actPool[n-1]
+		p.actPool = p.actPool[:n-1]
+	} else {
+		a = &activation{}
+	}
+	a.p, a.unit, a.hops = p, u, hops
+	a.next, a.sleepMs = "", 0
+	a.itin, a.itinOK = nil, false
+	a.ec.SetUnit(p.host, u)
+	return a
+}
+
+func (p *Platform) putAct(a *activation) {
+	a.unit = nil
+	a.table = nil
+	a.itin = nil
+	a.ec.SetUnit(nil, nil)
+	p.actPool = append(p.actPool, a)
 }
 
 // activate builds a machine for the unit (fresh or restored) and drives it.
 func (p *Platform) activate(u *lmu.Unit, hops int64) {
-	prog, err := vm.DecodeProgram(u.Code)
+	prog, err := p.host.CachedProgram(u.Code)
 	if err != nil {
 		p.finish(u, nil, hops, StatusFailed, fmt.Sprintf("decode: %v", err))
 		return
 	}
-	act := &activation{p: p, unit: u, hops: hops}
-	table := agentHostTable(act)
-	var m *vm.Machine
-	if len(u.State) > 0 {
-		m, err = vm.Restore(prog, table, p.env.MaxFuel, u.State)
+	act := p.getAct(u, hops)
+	if p.env.ExtraCaps == nil {
+		act.table = sharedAgentTable()
 	} else {
-		m, err = vm.New(prog, table, p.env.MaxFuel)
-		if err == nil {
-			err = m.SetEntry(string(u.Data[keyEntry]))
+		act.table = agentHostTable(act)
+	}
+	if len(u.State) > 0 {
+		err = act.m.RestoreInto(prog, act.table, p.env.MaxFuel, u.State)
+	} else {
+		if err = act.m.Reinit(prog, act.table, p.env.MaxFuel); err == nil {
+			err = act.m.SetEntry(string(u.Data[keyEntry]))
 		}
 	}
 	if err != nil {
 		p.finish(u, nil, hops, StatusFailed, err.Error())
+		p.putAct(act)
 		return
 	}
-	act.m = m
+	act.m.Ctx = act
 	act.drive()
 }
 
@@ -262,10 +315,12 @@ func (a *activation) drive() {
 		case err != nil:
 			a.p.stats.Failed++
 			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusFailed, err.Error())
+			a.p.putAct(a)
 			return
 		case a.m.Status() == vm.StatusHalted:
 			a.p.stats.Completed++
 			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusCompleted, "")
+			a.p.putAct(a)
 			return
 		case a.m.Status() == vm.StatusTrapped && a.m.TrapCode() == TrapMigrate:
 			if a.migrate() {
@@ -278,6 +333,7 @@ func (a *activation) drive() {
 			a.p.stats.Failed++
 			a.p.finish(a.unit, a.m.Stack(), a.hops, StatusFailed,
 				fmt.Sprintf("unexpected machine status %v", a.m.Status()))
+			a.p.putAct(a)
 			return
 		}
 	}
@@ -294,29 +350,45 @@ func (a *activation) migrate() bool {
 		return false
 	}
 	// Capture state after the trap so the receiver resumes past the call
-	// with the optimistic result (1) on the stack.
-	a.unit.State = a.m.Snapshot()
-	a.unit.Data[keyPrev] = []byte(a.p.host.Name())
-	sent := a.unit.Clone()
+	// with the optimistic result (1) on the stack. SendAgent packs the unit
+	// synchronously and retains only the packed frame, so the unit itself
+	// stays valid for the failure-resume path without a defensive clone.
+	// The snapshot and the _prev marker are written into the unit's existing
+	// backing when the sizes line up: both regions are exclusively owned by
+	// their field (Unpack aliases disjoint ranges of the arrival frame), and
+	// snapshot size is stable hop over hop for a given agent.
+	sb := wire.GetBuffer()
+	a.m.SnapshotTo(sb)
+	a.unit.State = append(a.unit.State[:0], sb.Bytes()...)
+	wire.PutBuffer(sb)
+	name := a.p.host.Name()
+	if prev := a.unit.Data[keyPrev]; len(prev) == len(name) {
+		copy(prev, name)
+	} else {
+		a.unit.Data[keyPrev] = []byte(name)
+	}
 	a.p.stats.Migrations++
-	a.p.host.SendAgent(dest, sent, func(err error) {
+	a.p.host.SendAgent(dest, a.unit, func(err error) {
 		if err == nil {
-			return // the agent now lives elsewhere
+			// The agent now lives elsewhere; this activation is done.
+			a.p.putAct(a)
+			return
 		}
-		// Refused or timed out: resume the retained copy here, with the
-		// migrate call reporting failure.
+		// Refused or timed out: resume here, with the migrate call
+		// reporting failure.
 		a.p.stats.MigrationFailures++
-		prog, derr := vm.DecodeProgram(a.unit.Code)
+		prog, derr := a.p.host.CachedProgram(a.unit.Code)
 		if derr != nil {
 			a.p.finish(a.unit, nil, a.hops, StatusFailed, derr.Error())
+			a.p.putAct(a)
 			return
 		}
-		m, rerr := vm.Restore(prog, agentHostTable(a), a.p.env.MaxFuel, a.unit.State)
-		if rerr != nil {
+		if rerr := a.m.RestoreInto(prog, a.table, a.p.env.MaxFuel, a.unit.State); rerr != nil {
 			a.p.finish(a.unit, nil, a.hops, StatusFailed, rerr.Error())
+			a.p.putAct(a)
 			return
 		}
-		a.m = m
+		a.m.Ctx = a
 		a.patchMigrateResult(0)
 		a.drive()
 	})
@@ -371,6 +443,12 @@ func dataCounter(u *lmu.Unit, key string) int64 {
 }
 
 func setDataCounter(u *lmu.Unit, key string, v int64) {
+	// Overwrite in place when the slot exists: the 8-byte region is owned
+	// exclusively by this key, even when it aliases the arrival frame.
+	if b := u.Data[key]; len(b) == 8 {
+		binary.BigEndian.PutUint64(b, uint64(v))
+		return
+	}
 	if u.Data == nil {
 		u.Data = make(map[string][]byte)
 	}

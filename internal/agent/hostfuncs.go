@@ -1,9 +1,149 @@
 package agent
 
 import (
+	"sync"
+
 	"logmob/internal/core"
 	"logmob/internal/vm"
 )
+
+// actOf resolves the activation a shared capability is executing for.
+func actOf(m *vm.Machine) *activation { return m.Ctx.(*activation) }
+
+var (
+	sharedAgentOnce sync.Once
+	sharedAgentTbl  *vm.HostTable
+)
+
+// sharedAgentTable returns the process-wide agent capability table: the base
+// component capabilities plus mobility, delivery and environment sensing,
+// all in context-routed form (reaching the current activation through
+// vm.Machine.Ctx instead of per-activation closures). It is used whenever
+// the platform has no ExtraCaps, which is what makes agent hops
+// allocation-free on the capability side. The table must never be mutated
+// after construction.
+func sharedAgentTable() *vm.HostTable {
+	sharedAgentOnce.Do(func() {
+		t := vm.NewHostTable()
+		core.RegisterBaseCtxCaps(t)
+
+		t.Register(vm.HostFunc{
+			Name: "a_at_dest", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				at := act.p.host.Name() == string(act.unit.Data[KeyDest])
+				return m.Ret1(b2i(at)), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_neighbors", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				return m.Ret1(int64(len(act.p.host.Neighbors()))), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_select_toward_dest", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				next := act.p.pickNeighbor(string(act.unit.Data[KeyDest]), string(act.unit.Data[keyPrev]))
+				if next == "" {
+					return m.Ret1(0), 0, nil
+				}
+				act.next = next
+				return m.Ret1(1), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_select_blob", Arity: 1,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				keys := act.ec.DataKeys()
+				if args[0] < 0 || args[0] >= int64(len(keys)) {
+					return m.Ret1(0), 0, nil
+				}
+				act.next = string(act.unit.Data[keys[args[0]]])
+				return m.Ret1(1), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_migrate", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				// Optimistically report success; the platform patches this to
+				// 0 if the transfer fails and the agent resumes locally.
+				return m.Ret1(1), TrapMigrate, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_sleep", Arity: 1,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				actOf(m).sleepMs = args[0]
+				return nil, TrapSleep, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_deliver", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				act.p.stats.Deliveries++
+				act.p.host.DeliverLocal(
+					string(act.unit.Data[keyID]),
+					string(act.unit.Data[KeyTopic]),
+					act.unit.Data[KeyPayload],
+				)
+				return m.Ret1(1), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_rand", Arity: 1,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				if args[0] <= 0 {
+					return m.Ret1(0), 0, nil
+				}
+				return m.Ret1(actOf(m).p.rng.Int63n(args[0])), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_hops", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				return m.Ret1(actOf(m).hops), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_select_dest", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				dest := string(act.unit.Data[KeyDest])
+				if dest == "" {
+					return m.Ret1(0), 0, nil
+				}
+				act.next = dest
+				return m.Ret1(1), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_itin_count", Arity: 0,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				return m.Ret1(int64(len(actOf(m).itinerary()))), 0, nil
+			},
+		})
+		t.Register(vm.HostFunc{
+			Name: "a_itin_select", Arity: 1,
+			Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
+				act := actOf(m)
+				itin := act.itinerary()
+				if args[0] < 0 || args[0] >= int64(len(itin)) {
+					return m.Ret1(0), 0, nil
+				}
+				act.next = itin[args[0]]
+				return m.Ret1(1), 0, nil
+			},
+		})
+
+		sharedAgentTbl = t
+	})
+	return sharedAgentTbl
+}
 
 // agentHostTable builds the capability set granted to agents: the base
 // component capabilities plus mobility, delivery and environment sensing.
@@ -154,7 +294,7 @@ func (p *Platform) pickNeighbor(dest, prev string) string {
 	if len(neighbors) == 0 {
 		return ""
 	}
-	candidates := make([]string, 0, len(neighbors))
+	candidates := p.nbrScratch[:0]
 	for _, n := range neighbors {
 		if n == dest {
 			return dest
@@ -163,6 +303,7 @@ func (p *Platform) pickNeighbor(dest, prev string) string {
 			candidates = append(candidates, n)
 		}
 	}
+	p.nbrScratch = candidates[:0]
 	if len(candidates) == 0 {
 		candidates = neighbors // only way back is through prev
 	}

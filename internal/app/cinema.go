@@ -89,7 +89,7 @@ func StartGeofencing(net *netsim.Network, nodeID string, ctx *ctxsvc.Service, fe
 		if node != nil {
 			loc := "roaming"
 			for _, f := range fences {
-				if f.Contains(node.Pos) {
+				if f.Contains(node.Pos()) {
 					loc = f.Name
 					break
 				}

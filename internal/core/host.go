@@ -137,10 +137,14 @@ type Host struct {
 	services     map[string]ServiceFunc
 	published    map[string]bool // name -> fetchable
 	pending      map[uint64]*pendingReq
+	reqPool      []*pendingReq // recycled request records, guarded by mu
 	nextReq      uint64
 	agentHandler AgentHandler
 	msgHandlers  []MessageHandler
 	evalHost     func(h *Host, u *lmu.Unit) *vm.HostTable
+	evalCustom   bool // true once SetEvalHostTable overrode the default
+	evalPool     []*evalState
+	progCache    map[string]*vm.Program
 	audit        []AuditEvent
 	auditNext    int
 	stats        Stats
@@ -321,6 +325,7 @@ func (h *Host) SetEvalHostTable(build func(h *Host, u *lmu.Unit) *vm.HostTable) 
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.evalHost = build
+	h.evalCustom = true
 }
 
 // Publish makes a unit available for Fetch (Code On Demand, server side).
@@ -398,16 +403,31 @@ func (h *Host) RunComponentSteps(name, entry string, args ...int64) ([]int64, in
 }
 
 func (h *Host) runUnit(u *lmu.Unit, entry string, args []int64) ([]int64, int64, error) {
-	prog, err := vm.DecodeProgram(u.Code)
+	prog, err := h.CachedProgram(u.Code)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
 	}
 	h.mu.Lock()
+	custom := h.evalCustom
 	build := h.evalHost
 	h.mu.Unlock()
-	m, err := vm.New(prog, build(h, u), h.evalFuel)
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+	var m *vm.Machine
+	if custom {
+		// A deployment-supplied table may capture per-unit state in closures;
+		// build it per request as before.
+		m, err = vm.New(prog, build(h, u), h.evalFuel)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+		}
+	} else {
+		s := h.getEval()
+		defer h.putEval(s)
+		m = &s.m
+		if err := m.Reinit(prog, sharedBaseTable(), h.evalFuel); err != nil {
+			return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)
+		}
+		s.ec.SetUnit(h, u)
+		m.Ctx = &s.ec
 	}
 	if err := m.SetEntry(entry, args...); err != nil {
 		return nil, 0, fmt.Errorf("core: component %s: %w", u.Manifest.Name, err)

@@ -31,22 +31,44 @@ func (h *Host) newRequest(peer string, cb func(ok bool, errMsg string, payload *
 	h.mu.Lock()
 	h.nextReq++
 	id := h.nextReq
-	p := &pendingReq{peer: peer, cb: cb}
+	var p *pendingReq
+	if k := len(h.reqPool); k > 0 {
+		p = h.reqPool[k-1]
+		h.reqPool[k-1] = nil
+		h.reqPool = h.reqPool[:k-1]
+		p.peer, p.cb = peer, cb
+	} else {
+		p = &pendingReq{peer: peer, cb: cb}
+	}
 	p.cancel = h.sched.After(h.requestTimeout, func() {
 		h.mu.Lock()
-		_, live := h.pending[id]
+		p2, live := h.pending[id]
 		if live {
 			delete(h.pending, id)
 			h.stats.Timeouts++
 		}
 		h.mu.Unlock()
 		if live {
-			cb(false, ErrTimeout.Error(), nil)
+			cb2 := p2.cb
+			h.putReq(p2)
+			cb2(false, ErrTimeout.Error(), nil)
 		}
 	})
 	h.pending[id] = p
 	h.mu.Unlock()
 	return id
+}
+
+// putReq recycles a request record once it has been removed from pending and
+// no path can touch it again (the timeout closure rechecks pending under the
+// lock, so a recycled record is never reached through a stale timer).
+func (h *Host) putReq(p *pendingReq) {
+	p.peer, p.cb, p.cancel = "", nil, nil
+	h.mu.Lock()
+	if len(h.reqPool) < 64 {
+		h.reqPool = append(h.reqPool, p)
+	}
+	h.mu.Unlock()
 }
 
 // resolve completes a pending request with the remote's reply. Replies are
@@ -66,8 +88,10 @@ func (h *Host) resolve(from string, id uint64, ok bool, errMsg string, payload *
 	if !live {
 		return // duplicate or post-timeout reply
 	}
-	p.cancel()
-	p.cb(ok, errMsg, payload)
+	cancel, cb := p.cancel, p.cb
+	h.putReq(p)
+	cancel()
+	cb(ok, errMsg, payload)
 }
 
 // abandon cancels a pending request without invoking its callback, for use
@@ -80,7 +104,9 @@ func (h *Host) abandon(id uint64) {
 	}
 	h.mu.Unlock()
 	if live {
-		p.cancel()
+		cancel := p.cancel
+		h.putReq(p)
+		cancel()
 	}
 }
 
@@ -124,7 +150,8 @@ func (h *Host) Call(to, service string, args [][]byte, cb func(results [][]byte,
 		}
 		cb(results, nil)
 	})
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(msgCall)
 	b.PutUint(id)
 	b.PutString(service)
@@ -161,10 +188,11 @@ func (h *Host) Eval(to string, unit *lmu.Unit, entry string, args []int64, cb fu
 		}
 		cb(stack, nil)
 	})
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(msgEval)
 	b.PutUint(id)
-	b.PutBytes(unit.Pack())
+	b.PutPacked(unit)
 	b.PutString(entry)
 	b.PutUint(uint64(len(args)))
 	for _, a := range args {
@@ -210,7 +238,8 @@ func (h *Host) Fetch(from, name, minVersion string, cb func(u *lmu.Unit, err err
 		h.mu.Unlock()
 		cb(u, nil)
 	})
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(msgFetch)
 	b.PutUint(id)
 	b.PutString(name)
@@ -298,10 +327,11 @@ func (h *Host) SendAgent(to string, unit *lmu.Unit, cb func(err error)) {
 		}
 		cb(nil)
 	})
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(msgAgent)
 	b.PutUint(id)
-	b.PutBytes(unit.Pack())
+	b.PutPacked(unit)
 	if err := h.kch.Send(to, b.Bytes()); err != nil {
 		h.abandon(id)
 		cb(fmt.Errorf("core: send agent to %s: %w", to, err))
@@ -313,7 +343,8 @@ func (h *Host) SendMessage(to, topic string, data []byte) error {
 	h.mu.Lock()
 	h.stats.MessagesSent++
 	h.mu.Unlock()
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(msgUser)
 	b.PutString(topic)
 	b.PutBytes(data)
@@ -370,13 +401,14 @@ func (h *Host) handle(from string, payload []byte) {
 // reply sends a reply frame; extra appends type-specific payload after the
 // (id, ok, errMsg) header.
 func (h *Host) reply(to string, kind byte, id uint64, ok bool, errMsg string, extra func(b *wire.Buffer)) {
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(kind)
 	b.PutUint(id)
 	b.PutBool(ok)
 	b.PutString(errMsg)
 	if extra != nil {
-		extra(&b)
+		extra(b)
 	}
 	_ = h.kch.Send(to, b.Bytes()) // replies are best effort
 }
@@ -494,7 +526,7 @@ func (h *Host) handleFetch(from string, r *reader) {
 		return
 	}
 	h.reply(from, msgFetchReply, id, true, "", func(b *wire.Buffer) {
-		b.PutBytes(u.Pack())
+		b.PutPacked(u)
 	})
 }
 

@@ -38,10 +38,12 @@ func (a *Ad) encode(b *wire.Buffer) {
 	b.PutInt(int64(a.TTL))
 }
 
+// decodeAd interns the service and provider names: a beaconing field
+// re-decodes the same few strings from every neighbor on every tick.
 func decodeAd(r *wire.Reader) Ad {
 	return Ad{
-		Service:  r.String(),
-		Provider: r.String(),
+		Service:  r.InternString(),
+		Provider: r.InternString(),
 		Attrs:    r.StringMap(),
 		TTL:      time.Duration(r.Int()),
 	}

@@ -142,19 +142,25 @@ func (u *Unit) SignedBytes() []byte {
 
 // Hash returns the unit's full content hash (SigFull coverage).
 func (u *Unit) Hash() [32]byte {
-	return sha256.Sum256(u.SignedBytes())
+	b := wire.GetBuffer()
+	u.appendSigned(b)
+	h := sha256.Sum256(b.Bytes())
+	wire.PutBuffer(b)
+	return h
 }
 
 // CodeHash returns the hash covering only the unit's identity and code
 // (SigCode coverage).
 func (u *Unit) CodeHash() [32]byte {
-	var b wire.Buffer
+	b := wire.GetBuffer()
 	b.PutString(u.Manifest.Name)
 	b.PutString(u.Manifest.Version)
 	b.PutByte(byte(u.Manifest.Kind))
 	b.PutString(u.Manifest.Publisher)
 	b.PutBytes(u.Code)
-	return sha256.Sum256(b.Bytes())
+	h := sha256.Sum256(b.Bytes())
+	wire.PutBuffer(b)
+	return h
 }
 
 // HashFor returns the hash covered by the given signature mode.
@@ -168,7 +174,14 @@ func (u *Unit) HashFor(mode SigMode) [32]byte {
 // Pack serialises the whole unit, including any signature.
 func (u *Unit) Pack() []byte {
 	var b wire.Buffer
-	u.appendSigned(&b)
+	u.PackTo(&b)
+	return b.Bytes()
+}
+
+// PackTo appends the packed unit to b. Encoding into a caller-held (pooled)
+// buffer avoids a fresh allocation per shipped unit.
+func (u *Unit) PackTo(b *wire.Buffer) {
+	u.appendSigned(b)
 	if u.Sig == nil {
 		b.PutBool(false)
 	} else {
@@ -177,23 +190,32 @@ func (u *Unit) Pack() []byte {
 		b.PutByte(byte(u.Sig.Mode))
 		b.PutBytes(u.Sig.Sig)
 	}
-	return b.Bytes()
 }
 
 // Size returns the unit's packed size in bytes: the traffic it costs to move.
-func (u *Unit) Size() int { return len(u.Pack()) }
+func (u *Unit) Size() int {
+	b := wire.GetBuffer()
+	u.PackTo(b)
+	n := b.Len()
+	wire.PutBuffer(b)
+	return n
+}
 
-// Unpack parses a packed unit.
+// Unpack parses a packed unit. The unit takes ownership of data: its Code,
+// State and Data values alias sub-ranges of it, so the caller must not
+// modify or recycle data after a successful Unpack. Every current producer
+// hands Unpack a freshly decoded copy, and aliasing turns the former
+// copy-per-field decode into a zero-copy one.
 func Unpack(data []byte) (*Unit, error) {
 	r := wire.NewReader(data)
 	if v := r.Uint(); r.Err() == nil && v != packVersion {
 		return nil, fmt.Errorf("lmu: unsupported pack version %d", v)
 	}
 	u := &Unit{}
-	u.Manifest.Name = r.String()
-	u.Manifest.Version = r.String()
+	u.Manifest.Name = internString(r.AliasBytes())
+	u.Manifest.Version = internString(r.AliasBytes())
 	u.Manifest.Kind = Kind(r.Byte())
-	u.Manifest.Publisher = r.String()
+	u.Manifest.Publisher = internString(r.AliasBytes())
 	nDeps := r.Uint()
 	if nDeps > uint64(len(data)) {
 		return nil, fmt.Errorf("lmu: dependency count %d implausible", nDeps)
@@ -202,11 +224,21 @@ func Unpack(data []byte) (*Unit, error) {
 		u.Manifest.Deps = append(u.Manifest.Deps, Dep{Name: r.String(), MinVersion: r.String()})
 	}
 	u.Manifest.Attrs = r.StringMap()
-	u.Code = r.Bytes()
-	u.Data = r.BytesMap()
-	u.State = r.Bytes()
+	u.Code = clip(r.AliasBytes())
+	nData := r.Uint()
+	if nData > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("lmu: unpack: %w", wire.ErrTruncated)
+	}
+	if nData > 0 {
+		u.Data = make(map[string][]byte, nData)
+		for i := uint64(0); i < nData && r.Err() == nil; i++ {
+			k := internString(r.AliasBytes())
+			u.Data[k] = clip(r.AliasBytes())
+		}
+	}
+	u.State = clip(r.AliasBytes())
 	if r.Bool() {
-		u.Sig = &Signature{Signer: r.String(), Mode: SigMode(r.Byte()), Sig: r.Bytes()}
+		u.Sig = &Signature{Signer: internString(r.AliasBytes()), Mode: SigMode(r.Byte()), Sig: clip(r.Bytes())}
 	}
 	if err := r.ExpectEOF(); err != nil {
 		return nil, fmt.Errorf("lmu: unpack: %w", err)
@@ -232,6 +264,19 @@ func Unpack(data []byte) (*Unit, error) {
 		u.Manifest.Attrs = nil
 	}
 	return u, nil
+}
+
+// clip forces cap == len so a later append on an aliased slice reallocates
+// instead of scribbling over neighbouring bytes of the shared backing array.
+func clip(b []byte) []byte {
+	return b[:len(b):len(b)]
+}
+
+// internString interns a decoded byte string via the wire-level table: unit
+// names, versions, publishers and data-space keys repeat endlessly as units
+// hop between hosts (every courier carries "dest", "payload", "_hops", ...).
+func internString(b []byte) string {
+	return wire.InternBytes(b)
 }
 
 // DataKeys returns the unit's data-space keys in sorted order — the indexing

@@ -34,7 +34,7 @@ func benchField(n int) (*Sim, *Network, []string) {
 // the recompute path, not cache hits.
 func jitter(net *Network, id string, i int) {
 	node := net.Node(id)
-	net.SetPos(id, Position{X: node.Pos.X + float64(i%3-1)*0.25, Y: node.Pos.Y})
+	net.SetPos(id, Position{X: node.Pos().X + float64(i%3-1)*0.25, Y: node.Pos().Y})
 }
 
 // broadcastLinear replays the pre-grid Broadcast: a full linear scan for

@@ -64,7 +64,7 @@ func (m *RandomWaypoint) pick(n *Network, node *Node) {
 func (m *RandomWaypoint) Step(n *Network, node *Node, dt time.Duration) {
 	next, moved, arrived := m.PlanStep(node, n.Sim().Now(), dt)
 	if moved {
-		node.Pos = next
+		node.setPos(next)
 	}
 	if arrived {
 		m.CommitArrival(n, node)
@@ -77,13 +77,14 @@ func (m *RandomWaypoint) PlanStep(node *Node, now, dt time.Duration) (Position, 
 	if now < node.pauseTo {
 		return Position{}, false, false
 	}
-	dist := node.Pos.Dist(node.target)
+	pos := node.Pos()
+	dist := pos.Dist(node.target)
 	travel := node.speed * dt.Seconds()
 	if travel >= dist {
 		return node.target, true, true
 	}
 	frac := travel / dist
-	next := node.Pos
+	next := pos
 	next.X += (node.target.X - next.X) * frac
 	next.Y += (node.target.Y - next.Y) * frac
 	return next, true, false
@@ -135,24 +136,27 @@ func (m *Waypath) Step(n *Network, node *Node, dt time.Duration) {
 		return
 	}
 	target := m.Points[i]
-	dist := node.Pos.Dist(target)
+	pos := node.Pos()
+	dist := pos.Dist(target)
 	travel := m.Speed * dt.Seconds()
 	for travel >= dist {
-		node.Pos = target
+		pos = target
 		travel -= dist
 		i++
 		m.next[node.ID] = i
 		if i >= len(m.Points) {
+			node.setPos(pos)
 			return
 		}
 		target = m.Points[i]
-		dist = node.Pos.Dist(target)
+		dist = pos.Dist(target)
 	}
 	if dist > 0 {
 		frac := travel / dist
-		node.Pos.X += (target.X - node.Pos.X) * frac
-		node.Pos.Y += (target.Y - node.Pos.Y) * frac
+		pos.X += (target.X - pos.X) * frac
+		pos.Y += (target.Y - pos.Y) * frac
 	}
+	node.setPos(pos)
 }
 
 // Mobility attaches a model to a set of nodes and advances them on a fixed
@@ -241,7 +245,7 @@ func (m *Mobility) stepTwoPhase(model Planner) {
 	})
 	for i, node := range m.resolved {
 		if plans[i].moved {
-			node.Pos = plans[i].next
+			node.setPos(plans[i].next)
 		}
 		if plans[i].arrived {
 			model.CommitArrival(m.net, node)

@@ -94,16 +94,19 @@ func (u *Usage) Add(other Usage) {
 }
 
 // Handler receives a message delivered to a node. Handlers run inside the
-// simulation loop and must not block.
+// simulation loop and must not block. The payload is owned by the network:
+// unicast buffers are recycled when the handler returns and broadcast
+// buffers are shared between receivers, so a handler must copy any bytes it
+// retains and must never mutate the payload.
 type Handler func(from string, payload []byte)
 
-// Node is a device attached to the network.
+// Node is a device attached to the network. The per-tick hot fields —
+// position, neighbor-cache epoch, energy budget — live in the owning
+// Network's struct-of-arrays storage (parallel slices indexed by the node's
+// insertion index) and are reached through accessors, so the sharded bulk
+// passes stream through flat memory instead of chasing per-node pointers.
 type Node struct {
 	ID string
-	// Pos is the node's current field position. Treat it as read-only
-	// outside netsim: move nodes with Network.SetPos (or a MobilityModel)
-	// so the spatial index and cached neighbor sets see the change.
-	Pos Position
 	// Class and Range are fixed at AddNode time as far as topology is
 	// concerned: mutating fields that affect connectivity (Range,
 	// Class.Range, Class.Infrastructure) afterwards bypasses the spatial
@@ -115,16 +118,7 @@ type Node struct {
 	Up      bool
 	handler Handler
 	usage   Usage
-
-	// EnergyBudget, when positive, is the node's battery: once cumulative
-	// usage.Energy reaches it, the radio is dead — the node neither
-	// transmits nor receives (deliveries in flight are discarded on
-	// arrival). 0 (the default) means an unlimited power supply, and the
-	// budget is never consulted. Budget exhaustion is deliberately kept out
-	// of Connected/Neighbors: it does not advance the topology epoch, so
-	// cached neighbor sets stay valid and the enforcement point is the
-	// transmission itself, serial on the event loop at any worker count.
-	EnergyBudget float64
+	net     *Network // owner, for the SoA field accessors
 
 	// waypoint state used by RandomWaypoint.
 	target  Position
@@ -138,11 +132,35 @@ type Node struct {
 	cell     cellKey
 	cellSlot int
 
-	// per-node neighbor cache, valid while nbrEpoch matches the network's
-	// topology epoch.
+	// per-node neighbor cache, valid while the SoA epoch slot matches the
+	// network's topology epoch.
 	nbrCache []string
-	nbrEpoch uint64
 }
+
+// Pos returns the node's current field position. Move nodes with
+// Network.SetPos (or a MobilityModel) so the spatial index and cached
+// neighbor sets see the change.
+func (n *Node) Pos() Position {
+	return Position{X: n.net.posX[n.orderIdx], Y: n.net.posY[n.orderIdx]}
+}
+
+// setPos writes the node's position into the SoA storage. It does not
+// re-index: callers go through Network.SetPos or nodeMoved.
+func (n *Node) setPos(p Position) {
+	n.net.posX[n.orderIdx] = p.X
+	n.net.posY[n.orderIdx] = p.Y
+}
+
+// EnergyBudget returns the node's battery capacity. When positive, the node
+// is dead once cumulative usage.Energy reaches it: the radio neither
+// transmits nor receives (deliveries in flight are discarded on arrival).
+// 0 (the default) means an unlimited power supply, and the budget is never
+// consulted. Budget exhaustion is deliberately kept out of
+// Connected/Neighbors: it does not advance the topology epoch, so cached
+// neighbor sets stay valid and the enforcement point is the transmission
+// itself, serial on the event loop at any worker count. Set it with
+// Network.SetEnergyBudget.
+func (n *Node) EnergyBudget() float64 { return n.net.budgets[n.orderIdx] }
 
 // EffectiveRange returns the node's radio range.
 func (n *Node) EffectiveRange() float64 {
@@ -154,16 +172,18 @@ func (n *Node) EffectiveRange() float64 {
 
 // exhausted reports whether the node's energy budget is spent.
 func (n *Node) exhausted() bool {
-	return n.EnergyBudget > 0 && n.usage.Energy >= n.EnergyBudget
+	b := n.net.budgets[n.orderIdx]
+	return b > 0 && n.usage.Energy >= b
 }
 
 // Battery returns the node's remaining battery fraction in [0,1]: 1 with no
 // budget configured, else 1 - Energy/EnergyBudget clamped at 0.
 func (n *Node) Battery() float64 {
-	if n.EnergyBudget <= 0 {
+	b := n.net.budgets[n.orderIdx]
+	if b <= 0 {
 		return 1
 	}
-	left := 1 - n.usage.Energy/n.EnergyBudget
+	left := 1 - n.usage.Energy/b
 	if left < 0 {
 		return 0
 	}
@@ -195,6 +215,19 @@ type Network struct {
 	// invalidates every per-node cached neighbor set.
 	epoch   uint64
 	scratch []*Node // reusable candidate buffer for grid queries
+	// payloadFree recycles unicast delivery buffers: a buffer is taken at
+	// transmit time, handed to the destination handler, and returned to the
+	// list when the handler returns. Broadcast payloads are excluded (they
+	// are shared across receivers and their lifetime is unbounded).
+	payloadFree [][]byte
+	// Struct-of-arrays node storage, indexed by Node.orderIdx (append-only:
+	// nodes are never removed). The per-tick hot fields — positions,
+	// neighbor-cache epochs, energy budgets — live here in parallel slices
+	// so the sharded bulk passes (mobility planning, neighbor-cache warms)
+	// stream through flat memory instead of loading whole Node structs.
+	posX, posY []float64
+	nbrEpochs  []uint64
+	budgets    []float64
 	// workers sizes the two-phase tick worker pool (see parallel.go);
 	// 1 keeps everything on the event-loop goroutine.
 	workers int
@@ -250,11 +283,16 @@ func (n *Network) AddNode(id string, pos Position, class LinkClass) *Node {
 		panic(fmt.Sprintf("netsim: duplicate node %q", id))
 	}
 	node := &Node{
-		ID: id, Pos: pos, Class: class, Up: true,
+		ID: id, Class: class, Up: true,
+		net:      n,
 		orderIdx: len(n.order),
 		infra:    class.Infrastructure,
 		gridPos:  pos,
 	}
+	n.posX = append(n.posX, pos.X)
+	n.posY = append(n.posY, pos.Y)
+	n.nbrEpochs = append(n.nbrEpochs, 0)
+	n.budgets = append(n.budgets, 0)
 	n.nodes[id] = node
 	n.order = append(n.order, id)
 	if !node.infra {
@@ -275,10 +313,10 @@ func (n *Network) AddNode(id string, pos Position, class LinkClass) *Node {
 }
 
 // SetPos moves a node, keeping the spatial index and topology epoch in
-// step. Use this (or a MobilityModel) instead of writing Node.Pos directly.
+// step. Use this (or a MobilityModel) to move nodes.
 func (n *Network) SetPos(id string, pos Position) {
 	if node := n.nodes[id]; node != nil {
-		node.Pos = pos
+		node.setPos(pos)
 		n.nodeMoved(node)
 	}
 }
@@ -286,10 +324,11 @@ func (n *Network) SetPos(id string, pos Position) {
 // nodeMoved re-indexes node after a position change. Infrastructure nodes
 // are position-independent, so their moves do not advance the epoch.
 func (n *Network) nodeMoved(node *Node) {
-	if node.Pos == node.gridPos {
+	pos := node.Pos()
+	if pos == node.gridPos {
 		return
 	}
-	node.gridPos = node.Pos
+	node.gridPos = pos
 	if !node.infra {
 		n.grid.update(node)
 		n.bumpEpoch()
@@ -377,7 +416,7 @@ func (n *Network) connectedNodes(na, nb *Node) bool {
 	if na.Class.Infrastructure || nb.Class.Infrastructure {
 		return true
 	}
-	d := na.Pos.Dist(nb.Pos)
+	d := na.Pos().Dist(nb.Pos())
 	return d <= na.EffectiveRange() && d <= nb.EffectiveRange()
 }
 
@@ -402,16 +441,7 @@ func (n *Network) neighborsOf(id string) []string {
 	if node == nil {
 		return nil
 	}
-	// Best-effort tolerance for a direct Pos write on the queried node:
-	// re-index before consulting the cache so the common move-then-query
-	// pattern stays correct. This is deliberately partial — a node moved
-	// by a direct write is invisible to queries about *other* nodes (it
-	// sits in the wrong grid cell and no epoch advanced), which is why
-	// Node.Pos is documented as read-only outside netsim: use SetPos.
-	if node.Pos != node.gridPos {
-		n.nodeMoved(node)
-	}
-	if node.nbrEpoch == n.epoch {
+	if n.nbrEpochs[node.orderIdx] == n.epoch {
 		return node.nbrCache
 	}
 	if n.workers > 1 {
@@ -426,7 +456,7 @@ func (n *Network) neighborsOf(id string) []string {
 		}
 	}
 	node.nbrCache, n.scratch = n.computeNeighbors(node, n.scratch)
-	node.nbrEpoch = n.epoch
+	n.nbrEpochs[node.orderIdx] = n.epoch
 	return node.nbrCache
 }
 
@@ -544,7 +574,7 @@ func (n *Network) connectedLinear(a, b string) bool {
 	if na.Class.Infrastructure != nb.Class.Infrastructure {
 		return true
 	}
-	d := na.Pos.Dist(nb.Pos)
+	d := na.Pos().Dist(nb.Pos())
 	return d <= na.EffectiveRange() && d <= nb.EffectiveRange()
 }
 
@@ -615,7 +645,7 @@ func (e *ErrExhausted) Error() string {
 // Node.EnergyBudget for the exhaustion semantics.
 func (n *Network) SetEnergyBudget(id string, budget float64) {
 	if node := n.nodes[id]; node != nil {
-		node.EnergyBudget = budget
+		n.budgets[node.orderIdx] = budget
 	}
 }
 
@@ -760,23 +790,56 @@ func (n *Network) transmitShared(src, dst *Node, payload []byte, shared bool) {
 		jitter = extra
 	}
 	data := payload
+	pooled := false
 	if !shared {
-		data = make([]byte, size)
+		data = n.getPayload(size)
 		copy(data, payload)
+		pooled = true
 	}
-	fromID, toID := src.ID, dst.ID
-	n.sim.Schedule(t+jitter, func() {
-		d := n.nodes[toID]
-		if d == nil || !d.Up || d.handler == nil || d.exhausted() {
-			return
-		}
+	n.sim.scheduleDelivery(t+jitter, n, src.ID, dst.ID, data, t, pooled)
+}
+
+// deliver is the arrival half of transmitShared, invoked by the simulator
+// when a typed delivery event fires: it re-resolves the destination at
+// delivery time (the node may have gone down, died of battery exhaustion or
+// lost its handler in flight), charges reception, and runs the handler.
+// Pooled (unicast) payloads are recycled once the handler returns, so
+// handlers must copy any bytes they retain.
+func (n *Network) deliver(from, to string, data []byte, air time.Duration, pooled bool) {
+	if d := n.nodes[to]; d != nil && d.Up && d.handler != nil && !d.exhausted() {
 		d.usage.BytesRecv += int64(len(data))
 		d.usage.MsgsRecv++
 		d.usage.Cost += d.Class.CostPerByte * float64(len(data))
 		d.usage.Energy += d.Class.EnergyPerByte * float64(len(data))
-		d.usage.Airtime += t
-		d.handler(fromID, data)
-	})
+		d.usage.Airtime += air
+		d.handler(from, data)
+	}
+	if pooled {
+		n.putPayload(data)
+	}
+}
+
+// getPayload returns a length-size buffer, reusing a recycled delivery
+// buffer when one is large enough.
+func (n *Network) getPayload(size int) []byte {
+	if k := len(n.payloadFree); k > 0 {
+		b := n.payloadFree[k-1]
+		n.payloadFree[k-1] = nil
+		n.payloadFree = n.payloadFree[:k-1]
+		if cap(b) >= size {
+			return b[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+// putPayload recycles a delivered unicast buffer. Oversized buffers and an
+// overfull list are dropped so the pool cannot pin unbounded memory.
+func (n *Network) putPayload(b []byte) {
+	if cap(b) == 0 || cap(b) > 64<<10 || len(n.payloadFree) >= 64 {
+		return
+	}
+	n.payloadFree = append(n.payloadFree, b[:0])
 }
 
 // Broadcast transmits payload from a node to every current neighbor. It

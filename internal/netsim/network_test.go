@@ -296,10 +296,10 @@ func TestRandomWaypointMovesWithinField(t *testing.T) {
 	net.AddNode("a", Position{50, 50}, c)
 	model := &RandomWaypoint{FieldW: 100, FieldH: 100, SpeedMin: 1, SpeedMax: 5, Pause: time.Second}
 	m := net.StartMobility(model, time.Second, "a")
-	start := net.Node("a").Pos
+	start := net.Node("a").Pos()
 	s.Run(200 * time.Second)
 	m.Stop()
-	end := net.Node("a").Pos
+	end := net.Node("a").Pos()
 	if start == end {
 		t.Error("node never moved")
 	}
@@ -316,7 +316,7 @@ func TestWaypathReachesEnd(t *testing.T) {
 	model := &Waypath{Points: []Position{{10, 0}, {10, 10}}, Speed: 1}
 	net.StartMobility(model, time.Second, "walker")
 	s.Run(30 * time.Second)
-	end := net.Node("walker").Pos
+	end := net.Node("walker").Pos()
 	if end.Dist(Position{10, 10}) > 0.001 {
 		t.Errorf("walker at %+v, want (10,10)", end)
 	}

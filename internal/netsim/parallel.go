@@ -89,11 +89,11 @@ func (n *Network) warmNeighborCaches() {
 	runSharded(len(n.list), n.workers, func(lo, hi int) {
 		var scratch []*Node
 		for _, node := range n.list[lo:hi] {
-			if node.nbrEpoch == epoch {
+			if n.nbrEpochs[node.orderIdx] == epoch {
 				continue
 			}
 			node.nbrCache, scratch = n.computeNeighbors(node, scratch)
-			node.nbrEpoch = epoch
+			n.nbrEpochs[node.orderIdx] = epoch
 		}
 	})
 	n.epochMisses = 0

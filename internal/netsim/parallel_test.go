@@ -49,7 +49,7 @@ func crowdFingerprint(net *Network) string {
 	for _, id := range net.Nodes() {
 		node := net.Node(id)
 		sb = fmt.Appendf(sb, "%s pos=%x,%x usage=%+v nbrs=%v\n",
-			id, math.Float64bits(node.Pos.X), math.Float64bits(node.Pos.Y),
+			id, math.Float64bits(node.Pos().X), math.Float64bits(node.Pos().Y),
 			node.Usage(), net.Neighbors(id))
 	}
 	sb = fmt.Appendf(sb, "epoch=%d now=%v\n", net.TopologyEpoch(), net.Sim().Now())
@@ -84,7 +84,7 @@ func TestWarmedCachesMatchLinearOracle(t *testing.T) {
 	// serve the tail of the burst from warmed caches.
 	misses := 0
 	for _, id := range net.Nodes() {
-		if net.Node(id).nbrEpoch != net.epoch {
+		if net.nbrEpochs[net.Node(id).orderIdx] != net.epoch {
 			misses++
 		}
 		got := net.Neighbors(id)
@@ -102,8 +102,8 @@ func TestWarmedCachesMatchLinearOracle(t *testing.T) {
 	}
 	// After the burst every cache must be valid at the current epoch.
 	for _, id := range net.Nodes() {
-		if net.Node(id).nbrEpoch != net.epoch {
-			t.Fatalf("%s: cache not warmed (epoch %d != %d)", id, net.Node(id).nbrEpoch, net.epoch)
+		if net.nbrEpochs[net.Node(id).orderIdx] != net.epoch {
+			t.Fatalf("%s: cache not warmed (epoch %d != %d)", id, net.nbrEpochs[net.Node(id).orderIdx], net.epoch)
 		}
 	}
 }
@@ -133,8 +133,8 @@ func TestGridMatchesRescanAfterParallelTicks(t *testing.T) {
 				t.Fatalf("%s bookkeeping (cell=%v slot=%d) disagrees with location (cell=%v slot=%d)",
 					node.ID, node.cell, node.cellSlot, key, slot)
 			}
-			if node.gridPos != node.Pos {
-				t.Fatalf("%s grid position %v stale vs actual %v", node.ID, node.gridPos, node.Pos)
+			if node.gridPos != node.Pos() {
+				t.Fatalf("%s grid position %v stale vs actual %v", node.ID, node.gridPos, node.Pos())
 			}
 		}
 	}
@@ -153,7 +153,7 @@ func TestGridMatchesRescanAfterParallelTicks(t *testing.T) {
 			}
 			for _, id := range net.Nodes() {
 				node := net.Node(id)
-				if node.Pos.Dist(center) <= radius && !got[id] {
+				if node.Pos().Dist(center) <= radius && !got[id] {
 					t.Fatalf("linear rescan finds %s within %gm of %v but the grid ring misses it",
 						id, radius, center)
 				}

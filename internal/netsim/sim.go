@@ -33,6 +33,11 @@ type Sim struct {
 	seq    uint64
 	rng    *rand.Rand
 	seed   int64
+	// free holds recycled delivery events. Only typed delivery events land
+	// here: they are created internally and never handed to callers, so no
+	// outside reference can observe the reuse. Events returned by Schedule
+	// (and the cancel closures from After) are never recycled.
+	free []*Event
 }
 
 // NewSim returns a simulator whose PRNG is seeded with seed. Identical seeds
@@ -58,6 +63,18 @@ type Event struct {
 	fn       func()
 	canceled bool
 	index    int
+
+	// Typed delivery form: when net is non-nil the event is a network
+	// message delivery and fn is nil. Keeping the delivery parameters in
+	// the event itself (instead of a per-message closure) lets the hot
+	// transmit path run without allocating, and lets fired events return
+	// to the simulator's free list.
+	net    *Network
+	from   string
+	to     string
+	data   []byte
+	air    time.Duration
+	pooled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -76,6 +93,50 @@ func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
 	return e
 }
 
+// scheduleDelivery schedules a typed message-delivery event: the
+// closure-free fast path the Network uses for deliveries. The event comes
+// from (and returns to) the simulator's free list, which is safe because
+// delivery events are never exposed to callers. Ordering is identical to
+// Schedule: same clock, same sequence counter.
+func (s *Sim) scheduleDelivery(delay time.Duration, net *Network, from, to string, data []byte, air time.Duration, pooled bool) {
+	if delay < 0 {
+		delay = 0
+	}
+	var e *Event
+	if k := len(s.free); k > 0 {
+		e = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		e = &Event{}
+	}
+	e.at = s.now + delay
+	e.seq = s.seq
+	e.net = net
+	e.from = from
+	e.to = to
+	e.data = data
+	e.air = air
+	e.pooled = pooled
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// fire executes a popped event. Typed delivery events are recycled into the
+// free list first (their parameters are copied out), so the delivery handler
+// can immediately reuse the event for anything it schedules. Plain callback
+// events were handed to their scheduler and are never recycled.
+func (s *Sim) fire(e *Event) {
+	if e.net == nil {
+		e.fn()
+		return
+	}
+	net, from, to, data, air, pooled := e.net, e.from, e.to, e.data, e.air, e.pooled
+	*e = Event{}
+	s.free = append(s.free, e)
+	net.deliver(from, to, data, air, pooled)
+}
+
 // Step fires the earliest pending event. It returns false when no events
 // remain.
 func (s *Sim) Step() bool {
@@ -87,7 +148,7 @@ func (s *Sim) Step() bool {
 		if e.at > s.now {
 			s.now = e.at
 		}
-		e.fn()
+		s.fire(e)
 		return true
 	}
 	return false
@@ -109,7 +170,7 @@ func (s *Sim) Run(until time.Duration) {
 		if e.at > s.now {
 			s.now = e.at
 		}
-		e.fn()
+		s.fire(e)
 	}
 	if until > s.now {
 		s.now = until

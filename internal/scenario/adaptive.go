@@ -357,11 +357,11 @@ func (a *Adaptive) startClient(w *World, ci int, name string, servers []string) 
 	h := w.Hosts[name]
 	// Bind to the nearest server at start (positions are static for the
 	// racing groups; roaming clients re-binding is a workload variant).
-	pos := w.Net.Node(name).Pos
+	pos := w.Net.Node(name).Pos()
 	server := servers[0]
-	bestD := w.Net.Node(server).Pos.Dist(pos)
+	bestD := w.Net.Node(server).Pos().Dist(pos)
 	for _, s := range servers[1:] {
-		if d := w.Net.Node(s).Pos.Dist(pos); d < bestD {
+		if d := w.Net.Node(s).Pos().Dist(pos); d < bestD {
 			server, bestD = s, d
 		}
 	}
@@ -644,7 +644,7 @@ func (p Decisions) Collect(w *World, t *metrics.Table) {
 	alive := 0
 	budgeted := false
 	for _, name := range a.clients {
-		if node := w.Net.Node(name); node != nil && node.EnergyBudget > 0 {
+		if node := w.Net.Node(name); node != nil && node.EnergyBudget() > 0 {
 			budgeted = true
 			if node.Battery() > 0 {
 				alive++

@@ -78,13 +78,13 @@ func GreedyGeoCaps(w *World) func(p *agent.Platform, u *lmu.Unit) []vm.HostFunc 
 					return []int64{0, 0}, 0, nil
 				}
 				best := ""
-				bestD := hereNode.Pos.Dist(destNode.Pos)
+				bestD := hereNode.Pos().Dist(destNode.Pos())
 				for _, nb := range w.Net.Neighbors(hereNode.ID) {
 					if nb == dest {
 						best = nb
 						break
 					}
-					if d := w.Net.Node(nb).Pos.Dist(destNode.Pos); d < bestD {
+					if d := w.Net.Node(nb).Pos().Dist(destNode.Pos()); d < bestD {
 						best, bestD = nb, d
 					}
 				}

@@ -407,7 +407,7 @@ func (f *Faults) compile(w *World, seed int64, s *Spec) {
 func (w *World) applyPartition(p PartitionFault) {
 	assign := func(name string) {
 		if p.SplitX > 0 {
-			if w.Net.Node(name).Pos.X < p.SplitX {
+			if w.Net.Node(name).Pos().X < p.SplitX {
 				w.Net.SetPartitionGroup(name, 1)
 			} else {
 				w.Net.SetPartitionGroup(name, 2)

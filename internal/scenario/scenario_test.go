@@ -50,7 +50,7 @@ func TestCompilePopulations(t *testing.T) {
 		t.Error("beacons should exist exactly for beaconing populations")
 	}
 	for _, name := range w.Pops["n"] {
-		pos := w.Net.Node(name).Pos
+		pos := w.Net.Node(name).Pos()
 		if pos.X < 0 || pos.X > 100 || pos.Y < 0 || pos.Y > 100 {
 			t.Errorf("%s placed off-field at %+v", name, pos)
 		}

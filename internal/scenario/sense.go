@@ -108,7 +108,7 @@ func sampleNode(w *World, name string, windows map[string]*retryWindow) {
 	ctx.SetStr(ctxsvc.KeyConnectivity, node.Class.Name)
 	ctx.SetNum(ctxsvc.KeyCostPerByte, node.Class.CostPerByte)
 	ctx.SetNum(ctxsvc.KeyEnergyPerByte, node.Class.EnergyPerByte)
-	if node.EnergyBudget > 0 {
+	if node.EnergyBudget() > 0 {
 		ctx.SetNum(ctxsvc.KeyBattery, node.Battery())
 	}
 	if rel := w.Reliables[name]; rel != nil {

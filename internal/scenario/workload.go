@@ -177,7 +177,7 @@ func (f *FetchWave) Start(w *World) {
 			// since the last attempt.
 			best, bestD := "", math.Inf(1)
 			for _, s := range servers {
-				if d := w.Net.Node(s).Pos.Dist(node.Pos); d < bestD {
+				if d := w.Net.Node(s).Pos().Dist(node.Pos()); d < bestD {
 					best, bestD = s, d
 				}
 			}
@@ -296,13 +296,13 @@ func (c *Couriers) Start(w *World) {
 	used := make(map[string]bool)
 	for i := 0; i < c.Count; i++ {
 		target := targets[i%len(targets)]
-		targetPos := w.Net.Node(target).Pos
+		targetPos := w.Net.Node(target).Pos()
 		src := ""
 		for _, name := range sources {
 			if used[name] {
 				continue
 			}
-			d := w.Net.Node(name).Pos.Dist(targetPos)
+			d := w.Net.Node(name).Pos().Dist(targetPos)
 			if d >= c.SrcMin && d < c.SrcMax {
 				src = name
 				break

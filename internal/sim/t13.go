@@ -211,13 +211,13 @@ func t13CSREV(stats *t13Paradigms) scenario.Workload {
 		// crowd is exhausted (tiny sweep populations) — the stage then
 		// simply fields no client for that paradigm.
 		nearest := func(stage string) string {
-			pos := w.Net.Node(stage).Pos
+			pos := w.Net.Node(stage).Pos()
 			best, bestD := "", math.Inf(1)
 			for _, name := range w.Pops["a"] {
 				if claimed[name] {
 					continue
 				}
-				if d := w.Net.Node(name).Pos.Dist(pos); d < bestD {
+				if d := w.Net.Node(name).Pos().Dist(pos); d < bestD {
 					best, bestD = name, d
 				}
 			}

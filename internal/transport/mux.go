@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"logmob/internal/wire"
 )
 
 // Channel IDs used across logmob. Defined here so every subsystem agrees.
@@ -61,18 +63,23 @@ var _ Endpoint = (*muxChannel)(nil)
 
 func (c *muxChannel) Addr() string { return c.mux.ep.Addr() }
 
+// Send frames the payload in a pooled buffer: no Endpoint implementation
+// retains the frame past the call (netsim copies, TCP writes synchronously,
+// Reliable re-frames into its own buffer), so it can be recycled on return.
 func (c *muxChannel) Send(to string, payload []byte) error {
-	return c.mux.ep.Send(to, c.frame(payload))
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.PutByte(c.id)
+	b.PutRaw(payload)
+	return c.mux.ep.Send(to, b.Bytes())
 }
 
 func (c *muxChannel) Broadcast(payload []byte) int {
-	return c.mux.ep.Broadcast(c.frame(payload))
-}
-
-func (c *muxChannel) frame(payload []byte) []byte {
-	out := make([]byte, 0, len(payload)+1)
-	out = append(out, c.id)
-	return append(out, payload...)
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.PutByte(c.id)
+	b.PutRaw(payload)
+	return c.mux.ep.Broadcast(b.Bytes())
 }
 
 func (c *muxChannel) Neighbors() []string { return c.mux.ep.Neighbors() }

@@ -32,6 +32,7 @@ type Reliable struct {
 	handler Handler
 	nextSeq uint64
 	pending map[uint64]*relPending
+	relFree []*relPending // recycled pending records, guarded by mu
 	stats   ReliableStats
 }
 
@@ -123,12 +124,15 @@ func (r *Reliable) Send(to string, payload []byte) error {
 	r.nextSeq++
 	seq := r.nextSeq
 	r.stats.Sent++
+	// The frame is captured by the retry timer and must survive until the
+	// message is acked or abandoned, so it cannot come from a pool.
 	var fb wire.Buffer
 	fb.PutByte(relData)
 	fb.PutUint(seq)
 	fb.PutBytes(payload)
 	frame := fb.Bytes()
-	p := &relPending{attempts: 1}
+	p := r.getRel()
+	p.attempts = 1
 	// Arm the slot and the timer under one critical section: the timer
 	// callback and the ack path both take the lock first, so neither can
 	// observe a half-armed state — even on wall-clock schedulers where
@@ -153,6 +157,7 @@ func (r *Reliable) timeout(to string, seq uint64, frame []byte) {
 	if p.attempts >= r.cfg.budget() {
 		delete(r.pending, seq)
 		r.stats.GaveUp++
+		r.putRelLocked(p)
 		r.mu.Unlock()
 		return
 	}
@@ -165,7 +170,8 @@ func (r *Reliable) timeout(to string, seq uint64, frame []byte) {
 
 // Broadcast implements Endpoint: broadcasts are framed but not acked.
 func (r *Reliable) Broadcast(payload []byte) int {
-	var b wire.Buffer
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
 	b.PutByte(relBcast)
 	b.PutBytes(payload)
 	return r.ep.Broadcast(b.Bytes())
@@ -187,9 +193,36 @@ func (r *Reliable) Close() error {
 	for seq, p := range r.pending {
 		p.cancel()
 		delete(r.pending, seq)
+		r.putRelLocked(p)
 	}
 	r.mu.Unlock()
 	return r.ep.Close()
+}
+
+// getRel takes a pending record from the free list (r.mu must be held).
+// Records are recycled only after leaving the pending map with any retry
+// timer cancelled or fired, so no stale path can reach a reused record.
+func (r *Reliable) getRel() *relPending {
+	if k := len(r.relFree); k > 0 {
+		p := r.relFree[k-1]
+		r.relFree[k-1] = nil
+		r.relFree = r.relFree[:k-1]
+		return p
+	}
+	return &relPending{}
+}
+
+func (r *Reliable) putRelLocked(p *relPending) {
+	p.attempts, p.cancel = 0, nil
+	if len(r.relFree) < 64 {
+		r.relFree = append(r.relFree, p)
+	}
+}
+
+func (r *Reliable) putRel(p *relPending) {
+	r.mu.Lock()
+	r.putRelLocked(p)
+	r.mu.Unlock()
 }
 
 // dispatch handles incoming frames: data is acked and delivered, acks
@@ -200,14 +233,18 @@ func (r *Reliable) dispatch(from string, payload []byte) {
 	switch kind {
 	case relData:
 		seq := rd.Uint()
-		data := rd.Bytes()
+		// Alias instead of copying: delivery is synchronous and downstream
+		// handlers own no part of the payload after they return.
+		data := rd.AliasBytes()
 		if rd.Err() != nil {
 			return
 		}
-		var b wire.Buffer
+		b := wire.GetBuffer()
 		b.PutByte(relAck)
 		b.PutUint(seq)
-		if r.ep.Send(from, b.Bytes()) == nil {
+		err := r.ep.Send(from, b.Bytes())
+		wire.PutBuffer(b)
+		if err == nil {
 			r.mu.Lock()
 			r.stats.AcksSent++
 			r.mu.Unlock()
@@ -227,9 +264,10 @@ func (r *Reliable) dispatch(from string, payload []byte) {
 		r.mu.Unlock()
 		if p != nil {
 			p.cancel()
+			r.putRel(p)
 		}
 	case relBcast:
-		data := rd.Bytes()
+		data := rd.AliasBytes()
 		if rd.Err() != nil {
 			return
 		}

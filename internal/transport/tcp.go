@@ -71,14 +71,16 @@ func (e *TCPEndpoint) readLoop(conn net.Conn, peer string) {
 	defer e.wg.Done()
 	defer conn.Close()
 	br := bufio.NewReader(conn)
+	var buf []byte // per-connection frame buffer, reused across reads
 	for {
-		frame, err := wire.ReadFrame(br)
+		frame, err := wire.ReadFrameInto(br, buf)
 		if err != nil {
 			if peer != "" {
 				e.dropConn(peer, conn)
 			}
 			return
 		}
+		buf = frame
 		r := wire.NewReader(frame)
 		from := r.String()
 		payload := r.Bytes()
@@ -137,10 +139,12 @@ func (e *TCPEndpoint) getConn(to string) (net.Conn, error) {
 	}
 	// Send a hello frame (empty payload) announcing our canonical address so
 	// the peer can route replies over this connection.
-	var hello wire.Buffer
+	hello := wire.GetBuffer()
 	hello.PutString(e.addr)
 	hello.PutBytes(nil)
-	if _, err := wire.WriteFrame(conn, hello.Bytes()); err != nil {
+	_, err = wire.WriteFrame(conn, hello.Bytes())
+	wire.PutBuffer(hello)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -170,7 +174,8 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	var frame wire.Buffer
+	frame := wire.GetBuffer()
+	defer wire.PutBuffer(frame)
 	frame.PutString(e.addr)
 	frame.PutBytes(payload)
 	e.mu.Lock()

@@ -120,6 +120,11 @@ type Program struct {
 	// argument of OpHost. The executing host links these by name — or
 	// refuses to.
 	Imports []string
+
+	// validated memoizes a successful Validate so that machines recycled
+	// across many evaluations of the same (immutable) program skip the
+	// per-instruction scan. Mutating a validated Program is not supported.
+	validated bool
 }
 
 const programVersion = 1
@@ -201,6 +206,9 @@ func DecodeProgram(data []byte) (*Program, error) {
 // Validate checks static program well-formedness: jump targets, host import
 // indices, entry addresses and slot bounds.
 func (p *Program) Validate() error {
+	if p.validated {
+		return nil
+	}
 	if p.Globals < 0 || p.Globals > MaxGlobals {
 		return fmt.Errorf("vm: program requires %d globals, max %d", p.Globals, MaxGlobals)
 	}
@@ -229,5 +237,6 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("vm: entry %q at %d out of range", name, addr)
 		}
 	}
+	p.validated = true
 	return nil
 }

@@ -116,27 +116,36 @@ func (t *HostTable) Names() []string {
 	return out
 }
 
-// frame is one call activation.
+// frame is one call activation. Locals are stored inline so that pushing a
+// frame costs a slice append rather than a heap allocation.
 type frame struct {
 	retPC  int
-	locals []int64
+	locals [MaxLocals]int64
 }
 
 // Machine executes a Program. It is single-goroutine; create one per
-// execution.
+// execution, or recycle one with Reinit / RestoreInto.
 type Machine struct {
 	prog   *Program
 	host   *HostTable
-	linked []*HostFunc // resolved imports, same index as prog.Imports
+	linked []HostFunc // resolved imports, same index as prog.Imports
 
 	pc      int
 	stack   []int64
 	frames  []frame
 	globals []int64
+	argbuf  []int64  // scratch for OpHost argument passing; valid only during a call
+	resbuf  [2]int64 // scratch for Ret1/Ret2 host-call results
 	fuel    int64
 	status  Status
 	trap    int64
 	runErr  error
+
+	// Ctx is an arbitrary host-owned execution context. Host functions
+	// registered in a capability table shared across executions can reach
+	// per-execution state through Ctx instead of capturing it in
+	// per-execution closures.
+	Ctx any
 
 	// Steps counts executed instructions across all Run calls.
 	Steps int64
@@ -146,26 +155,54 @@ type Machine struct {
 // fuel budget. It fails if the program's validation fails or an import
 // cannot be linked.
 func New(prog *Program, host *HostTable, fuel int64) (*Machine, error) {
-	if err := prog.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reinit(prog, host, fuel); err != nil {
 		return nil, err
 	}
-	m := &Machine{
-		prog:    prog,
-		host:    host,
-		globals: make([]int64, prog.Globals),
-		fuel:    fuel,
-		status:  StatusReady,
+	return m, nil
+}
+
+// Reinit resets m in place to run prog from a clean state, reusing the
+// machine's existing stack, frame, global and link storage. It is equivalent
+// to New but allocation-free once the machine has warmed up, which lets
+// hosts that evaluate many short programs keep a machine pool.
+func (m *Machine) Reinit(prog *Program, host *HostTable, fuel int64) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	m.prog = prog
+	m.host = host
+	m.pc = 0
+	m.stack = m.stack[:0]
+	m.fuel = fuel
+	m.status = StatusReady
+	m.trap = 0
+	m.runErr = nil
+	m.Ctx = nil
+	m.Steps = 0
+	if cap(m.globals) >= prog.Globals {
+		m.globals = m.globals[:prog.Globals]
+		for i := range m.globals {
+			m.globals[i] = 0
+		}
+	} else {
+		m.globals = make([]int64, prog.Globals)
 	}
 	if err := m.link(); err != nil {
-		return nil, err
+		return err
 	}
-	m.frames = []frame{{retPC: -1, locals: make([]int64, MaxLocals)}}
-	return m, nil
+	m.frames = append(m.frames[:0], frame{retPC: -1})
+	return nil
 }
 
 // link resolves the program's host imports against the capability table.
 func (m *Machine) link() error {
-	m.linked = make([]*HostFunc, len(m.prog.Imports))
+	n := len(m.prog.Imports)
+	if cap(m.linked) >= n {
+		m.linked = m.linked[:n]
+	} else {
+		m.linked = make([]HostFunc, n)
+	}
 	for i, name := range m.prog.Imports {
 		if m.host == nil {
 			return fmt.Errorf("vm: program imports %q but no host table provided", name)
@@ -174,8 +211,7 @@ func (m *Machine) link() error {
 		if !ok {
 			return fmt.Errorf("vm: host capability %q not granted", name)
 		}
-		fn := f
-		m.linked[i] = &fn
+		m.linked[i] = f
 	}
 	return nil
 }
@@ -233,6 +269,20 @@ func (m *Machine) Pop() (int64, error) {
 // machine that expects a value.
 func (m *Machine) Push(v int64) {
 	m.stack = append(m.stack, v)
+}
+
+// Ret1 formats a single host-call result without allocating. The returned
+// slice aliases machine scratch and is only valid until Run copies it onto
+// the operand stack, i.e. it must be returned directly from a HostFunc.
+func (m *Machine) Ret1(v int64) []int64 {
+	m.resbuf[0] = v
+	return m.resbuf[:1]
+}
+
+// Ret2 is Ret1 for two results.
+func (m *Machine) Ret2(a, b int64) []int64 {
+	m.resbuf[0], m.resbuf[1] = a, b
+	return m.resbuf[:2]
 }
 
 // Global returns global slot i, or 0 if out of range.
@@ -360,7 +410,7 @@ func (m *Machine) Run() error {
 			if len(m.frames) >= MaxFrames {
 				return m.fail(in.Op, "call depth exceeds %d", MaxFrames)
 			}
-			m.frames = append(m.frames, frame{retPC: m.pc + 1, locals: make([]int64, MaxLocals)})
+			m.frames = append(m.frames, frame{retPC: m.pc + 1})
 			m.pc = int(in.Arg)
 			continue
 		case OpRet:
@@ -397,11 +447,14 @@ func (m *Machine) Run() error {
 			}
 			m.globals[in.Arg] = v
 		case OpHost:
-			fn := m.linked[in.Arg]
+			fn := &m.linked[in.Arg]
 			if len(m.stack) < fn.Arity {
 				return m.fail(in.Op, "host %q needs %d args, stack has %d", fn.Name, fn.Arity, len(m.stack))
 			}
-			args := make([]int64, fn.Arity)
+			if cap(m.argbuf) < fn.Arity {
+				m.argbuf = make([]int64, fn.Arity)
+			}
+			args := m.argbuf[:fn.Arity]
 			copy(args, m.stack[len(m.stack)-fn.Arity:])
 			m.stack = m.stack[:len(m.stack)-fn.Arity]
 			results, trapCode, err := fn.Fn(m, args)
@@ -498,6 +551,13 @@ const snapshotVersion = 1
 // mobility mechanism used by mobile agents.
 func (m *Machine) Snapshot() []byte {
 	var b wire.Buffer
+	m.SnapshotTo(&b)
+	return b.Bytes()
+}
+
+// SnapshotTo appends the snapshot encoding to b, avoiding an intermediate
+// allocation when the caller already holds a reusable buffer.
+func (m *Machine) SnapshotTo(b *wire.Buffer) {
 	b.PutUint(snapshotVersion)
 	b.PutUint(uint64(m.pc))
 	b.PutByte(byte(m.status))
@@ -511,7 +571,8 @@ func (m *Machine) Snapshot() []byte {
 		b.PutInt(v)
 	}
 	b.PutUint(uint64(len(m.frames)))
-	for _, f := range m.frames {
+	for i := range m.frames {
+		f := &m.frames[i]
 		b.PutInt(int64(f.retPC))
 		// Store only the used prefix of locals: trailing zeros compress away.
 		used := len(f.locals)
@@ -523,71 +584,79 @@ func (m *Machine) Snapshot() []byte {
 			b.PutInt(v)
 		}
 	}
-	return b.Bytes()
 }
 
 // Restore creates a machine from prog positioned at the snapshot state. The
 // host table and fuel are supplied fresh by the restoring host; fuel and
 // capabilities never travel with an agent.
 func Restore(prog *Program, host *HostTable, fuel int64, snapshot []byte) (*Machine, error) {
-	m, err := New(prog, host, fuel)
-	if err != nil {
+	m := &Machine{}
+	if err := m.RestoreInto(prog, host, fuel, snapshot); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// RestoreInto is Restore reusing m's storage. On error the machine is left
+// in an unspecified state; a subsequent Reinit or RestoreInto makes it valid
+// again.
+func (m *Machine) RestoreInto(prog *Program, host *HostTable, fuel int64, snapshot []byte) error {
+	if err := m.Reinit(prog, host, fuel); err != nil {
+		return err
 	}
 	r := wire.NewReader(snapshot)
 	if v := r.Uint(); r.Err() == nil && v != snapshotVersion {
-		return nil, fmt.Errorf("vm: unsupported snapshot version %d", v)
+		return fmt.Errorf("vm: unsupported snapshot version %d", v)
 	}
 	m.pc = int(r.Uint())
 	m.status = Status(r.Byte())
 	m.trap = r.Int()
 	nStack := r.Uint()
 	if nStack > MaxStack {
-		return nil, fmt.Errorf("vm: snapshot stack of %d exceeds max", nStack)
+		return fmt.Errorf("vm: snapshot stack of %d exceeds max", nStack)
 	}
-	m.stack = make([]int64, 0, nStack)
 	for i := uint64(0); i < nStack && r.Err() == nil; i++ {
 		m.stack = append(m.stack, r.Int())
 	}
 	nGlob := r.Uint()
 	if nGlob != uint64(prog.Globals) {
 		if r.Err() != nil {
-			return nil, fmt.Errorf("vm: decode snapshot: %w", r.Err())
+			return fmt.Errorf("vm: decode snapshot: %w", r.Err())
 		}
-		return nil, fmt.Errorf("vm: snapshot has %d globals, program requires %d", nGlob, prog.Globals)
+		return fmt.Errorf("vm: snapshot has %d globals, program requires %d", nGlob, prog.Globals)
 	}
 	for i := 0; i < prog.Globals && r.Err() == nil; i++ {
 		m.globals[i] = r.Int()
 	}
 	nFrames := r.Uint()
 	if nFrames == 0 || nFrames > MaxFrames {
-		return nil, fmt.Errorf("vm: snapshot frame count %d invalid", nFrames)
+		return fmt.Errorf("vm: snapshot frame count %d invalid", nFrames)
 	}
-	m.frames = make([]frame, 0, nFrames)
+	m.frames = m.frames[:0]
 	for i := uint64(0); i < nFrames && r.Err() == nil; i++ {
-		f := frame{retPC: int(r.Int()), locals: make([]int64, MaxLocals)}
+		m.frames = append(m.frames, frame{retPC: int(r.Int())})
+		f := &m.frames[len(m.frames)-1]
 		used := r.Uint()
 		if used > MaxLocals {
-			return nil, fmt.Errorf("vm: snapshot frame with %d locals", used)
+			return fmt.Errorf("vm: snapshot frame with %d locals", used)
 		}
 		for j := uint64(0); j < used && r.Err() == nil; j++ {
 			f.locals[j] = r.Int()
 		}
-		m.frames = append(m.frames, f)
 	}
 	if err := r.ExpectEOF(); err != nil {
-		return nil, fmt.Errorf("vm: decode snapshot: %w", err)
+		return fmt.Errorf("vm: decode snapshot: %w", err)
 	}
 	if m.pc < 0 || m.pc > len(prog.Code) {
-		return nil, fmt.Errorf("vm: snapshot pc %d out of range", m.pc)
+		return fmt.Errorf("vm: snapshot pc %d out of range", m.pc)
 	}
 	switch m.status {
 	case StatusReady, StatusTrapped, StatusHalted, StatusOutOfFuel:
 	default:
-		return nil, fmt.Errorf("vm: snapshot status %d not restorable", m.status)
+		return fmt.Errorf("vm: snapshot status %d not restorable", m.status)
 	}
 	if m.status == StatusOutOfFuel {
 		m.status = StatusReady // fresh fuel was just supplied
 	}
-	return m, nil
+	return nil
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"io"
+	"sync"
 	"testing"
 )
 
@@ -157,5 +158,74 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if !bytes.Equal(enc1, enc2) {
 			t.Fatalf("encode∘decode is not a fixed point:\nops  %v\nenc1 %x\nenc2 %x", ops, enc1, enc2)
 		}
+	})
+}
+
+// FuzzReadFramePooled exercises the buffer-reuse contract of ReadFrameInto
+// the way the transport read loops use it: one scratch buffer, drawn from
+// the process-wide pool, recycled across every frame of a stream. The fuzz
+// input is treated as a raw frame stream; a reference pass with
+// fresh-allocating ReadFrame fixes the expected frame sequence, then several
+// goroutines re-read the stream concurrently, each cycling its scratch
+// through GetBuffer/PutBuffer. Run under -race this catches any aliasing
+// between pooled buffers — two readers decoding into shared storage — and
+// the copy checks catch a frame being scribbled on by the next read.
+func FuzzReadFramePooled(f *testing.F) {
+	stream := func(payloads ...[]byte) []byte {
+		var out bytes.Buffer
+		for _, p := range payloads {
+			if _, err := WriteFrame(&out, p); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return out.Bytes()
+	}
+	f.Add(stream([]byte("beacon"), nil, []byte("a longer payload to force scratch growth")))
+	f.Add(stream(bytes.Repeat([]byte{0xab}, 4096), []byte{1}))
+	f.Add([]byte{0x05, 1, 2})                   // truncated payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // header over MaxFrameLen
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reference pass: fresh allocation per frame, copies retained.
+		var want [][]byte
+		ref := bytes.NewReader(data)
+		for {
+			frame, err := ReadFrame(ref)
+			if err != nil {
+				break
+			}
+			want = append(want, append([]byte(nil), frame...))
+		}
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := GetBuffer()
+				scratch := b.buf
+				br := bytes.NewReader(data)
+				var got [][]byte
+				for {
+					frame, err := ReadFrameInto(br, scratch)
+					if err != nil {
+						break
+					}
+					scratch = frame // reuse grown capacity, like the TCP read loop
+					got = append(got, append([]byte(nil), frame...))
+				}
+				b.buf = scratch[:0]
+				PutBuffer(b)
+				if len(got) != len(want) {
+					t.Errorf("pooled pass read %d frames, reference read %d", len(got), len(want))
+					return
+				}
+				for i := range got {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Errorf("frame %d: pooled read %x differs from reference %x", i, got[i], want[i])
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	})
 }

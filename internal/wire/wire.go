@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Maximum sizes accepted by the decoder. These bound memory allocation when
@@ -50,6 +51,29 @@ type Buffer struct {
 // NewBuffer returns a Buffer with the given initial capacity.
 func NewBuffer(capacity int) *Buffer {
 	return &Buffer{buf: make([]byte, 0, capacity)}
+}
+
+// bufferPool backs GetBuffer/PutBuffer. Encoding hot paths (kernel protocol
+// frames, LMU packing, transport frames) build every message in a pooled
+// buffer instead of allocating a fresh one per message.
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer returns an empty Buffer from the process-wide pool. Callers must
+// not retain the buffer's bytes past PutBuffer; copy anything that outlives
+// the encode.
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns b to the pool. Oversized buffers are dropped so one
+// giant frame does not pin memory forever.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.buf) > 1<<20 {
+		return
+	}
+	bufferPool.Put(b)
 }
 
 // Bytes returns the encoded bytes. The returned slice aliases the Buffer's
@@ -101,6 +125,84 @@ func (b *Buffer) PutString(s string) {
 func (b *Buffer) PutBytes(p []byte) {
 	b.buf = binary.AppendUvarint(b.buf, uint64(len(p)))
 	b.buf = append(b.buf, p...)
+}
+
+// PutRaw appends p verbatim, with no length prefix. It exists for framing
+// layers that prepend a tag byte to an already-encoded payload.
+func (b *Buffer) PutRaw(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+// Interning: short strings repeat endlessly on the wire — unit names,
+// data-space keys, host names, service names. A small bounded table maps
+// each such byte string to one canonical Go string, making the per-decode
+// string allocations disappear. Lookups convert []byte keys without
+// allocating; oversized strings bypass the table.
+const (
+	internMaxLen = 64
+	internMaxTab = 1024
+)
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string)
+)
+
+// InternBytes returns a canonical string with b's contents, allocating only
+// the first time a given value is seen (while the table has room).
+func InternBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) < internMaxTab {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// Intern returns the canonical interned copy of s, for callers that retain
+// many duplicate short strings decoded from the wire (host names, topics).
+func Intern(s string) string {
+	if len(s) == 0 || len(s) > internMaxLen {
+		return s
+	}
+	internMu.RLock()
+	c, ok := internTab[s]
+	internMu.RUnlock()
+	if ok {
+		return c
+	}
+	internMu.Lock()
+	if len(internTab) < internMaxTab {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// Packer is anything that can append its canonical encoding to a Buffer.
+type Packer interface{ PackTo(b *Buffer) }
+
+// PutPacked encodes p's packed form as a length-prefixed byte string,
+// staging it through a pooled scratch buffer instead of materialising a
+// fresh intermediate slice.
+func (b *Buffer) PutPacked(p Packer) {
+	s := GetBuffer()
+	p.PackTo(s)
+	b.PutBytes(s.Bytes())
+	PutBuffer(s)
 }
 
 // PutStringMap encodes m sorted by key so that the encoding is deterministic.
@@ -247,6 +349,13 @@ func (r *Reader) String() string {
 	return string(r.rawBytes())
 }
 
+// InternString decodes a length-prefixed string like String but interns the
+// result: repeated wire strings (names, keys, topics) decode to one shared
+// canonical string instead of a fresh allocation each time.
+func (r *Reader) InternString() string {
+	return InternBytes(r.rawBytes())
+}
+
 // Bytes decodes a length-prefixed byte slice. The result is a copy and does
 // not alias the Reader's input.
 func (r *Reader) Bytes() []byte {
@@ -257,6 +366,14 @@ func (r *Reader) Bytes() []byte {
 	out := make([]byte, len(raw))
 	copy(out, raw)
 	return out
+}
+
+// AliasBytes decodes a length-prefixed byte slice without copying: the
+// result aliases the Reader's input and is only valid while that input is.
+// Decoders that own their input (or whose product must not outlive it) use
+// this to skip the per-value copy of Bytes.
+func (r *Reader) AliasBytes() []byte {
+	return r.rawBytes()
 }
 
 // rawBytes decodes a length prefix and returns the referenced sub-slice of
@@ -289,9 +406,12 @@ func (r *Reader) StringMap() map[string]string {
 		r.fail(ErrTruncated)
 		return nil
 	}
+	if n == 0 {
+		return nil // don't allocate for the common empty map
+	}
 	m := make(map[string]string, n)
 	for i := uint64(0); i < n && r.err == nil; i++ {
-		k := r.String()
+		k := r.InternString()
 		m[k] = r.String()
 	}
 	return m
@@ -358,6 +478,14 @@ func WriteFrame(w io.Writer, payload []byte) (int, error) {
 // ReadFrame reads one length-prefixed frame from r. It returns io.EOF if the
 // stream ends cleanly before a new frame begins.
 func ReadFrame(r io.ByteReader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto is ReadFrame appending into buf[:0], reusing its capacity.
+// The returned slice aliases buf's storage (when capacity sufficed): callers
+// recycling a frame buffer across reads must finish with one frame before
+// reading the next, and must copy anything they keep.
+func ReadFrameInto(r io.ByteReader, buf []byte) ([]byte, error) {
 	length, err := binary.ReadUvarint(r)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
@@ -372,7 +500,10 @@ func ReadFrame(r io.ByteReader) ([]byte, error) {
 	// corrupt or hostile 2-byte stream can claim a MaxFrameLen frame, and
 	// committing the full allocation before the first payload byte turns
 	// that into a 64 MiB allocation per bad frame.
-	payload := make([]byte, 0, min(length, 64<<10))
+	payload := buf[:0]
+	if cap(payload) == 0 {
+		payload = make([]byte, 0, min(length, 64<<10))
+	}
 	for i := uint64(0); i < length; i++ {
 		b, err := r.ReadByte()
 		if err != nil {
