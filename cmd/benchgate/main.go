@@ -14,6 +14,10 @@
 // silently-skipped benchmark must not read as a pass — while a bench missing
 // from the baseline only warns, so new benchmarks can land before the next
 // baseline refresh.
+//
+// With -json, violations are emitted as a findings.Report — the same schema
+// cmd/logmoblint emits — with check "regression" or "missing-bench" per
+// finding, so one downstream consumer handles both tools.
 package main
 
 import (
@@ -25,6 +29,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"logmob/internal/findings"
 )
 
 // defaultBenches is the hot set: the end-to-end experiment benches the
@@ -150,6 +156,30 @@ func Gate(baseline, fresh map[string]Result, benches []string, tol float64) (reg
 	return regs, missing, skipped
 }
 
+// Report converts gate violations into the shared findings schema.
+func Report(regs []Regression, missing []string) *findings.Report {
+	rep := &findings.Report{Tool: "benchgate"}
+	for _, name := range missing {
+		rep.Findings = append(rep.Findings, findings.Finding{
+			Tool:    "benchgate",
+			Check:   "missing-bench",
+			Bench:   name,
+			Message: "watched benchmark missing from new run",
+		})
+	}
+	for _, r := range regs {
+		rep.Findings = append(rep.Findings, findings.Finding{
+			Tool:  "benchgate",
+			Check: "regression",
+			Bench: r.Bench,
+			Message: fmt.Sprintf("%s regressed %.4g -> %.4g (%+.1f%%)",
+				r.Metric, r.Old, r.New, 100*(r.New/r.Old-1)),
+		})
+	}
+	rep.Sort()
+	return rep
+}
+
 func parseFile(path string) (map[string]Result, error) {
 	if path == "-" {
 		return ParseTestJSON(os.Stdin)
@@ -167,6 +197,7 @@ func main() {
 	newPath := flag.String("new", "-", "fresh run to gate (go test -json stream), - for stdin")
 	benchList := flag.String("benches", defaultBenches, "comma-separated benchmarks to gate")
 	tol := flag.Float64("tol", 0.10, "allowed fractional regression per metric")
+	jsonOut := flag.Bool("json", false, "emit violations as a JSON findings.Report")
 	flag.Parse()
 
 	baseline, err := parseFile(*baselinePath)
@@ -185,6 +216,18 @@ func main() {
 		benches[i] = strings.TrimSpace(benches[i])
 	}
 	regs, missing, skipped := Gate(baseline, fresh, benches, *tol)
+
+	if *jsonOut {
+		rep := Report(regs, missing)
+		if err := rep.Encode(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	for _, name := range skipped {
 		fmt.Printf("skip %s: not in baseline (refresh BENCH_logmob.json to gate it)\n", name)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"testing"
+
+	"logmob/internal/findings"
 )
 
 // jsonStream builds a test2json stream whose output events carry the given
@@ -123,5 +126,40 @@ func TestGateAgainstCommittedBaseline(t *testing.T) {
 	regs, missing, _ := Gate(res, res, benches, 0.10)
 	if len(regs) != 0 || len(missing) != 0 {
 		t.Fatalf("baseline does not gate cleanly against itself: regs=%v missing=%v", regs, missing)
+	}
+}
+
+// TestReportSharedSchema proves gate violations convert into the findings
+// schema logmoblint also emits, and survive an encode/decode round trip.
+func TestReportSharedSchema(t *testing.T) {
+	regs := []Regression{{Bench: "BenchmarkVMEval", Metric: "allocs/op", Old: 2, New: 5}}
+	rep := Report(regs, []string{"BenchmarkDecide"})
+	if rep.Tool != "benchgate" {
+		t.Fatalf("report tool = %q, want benchgate", rep.Tool)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(rep.Findings))
+	}
+	checks := map[string]string{}
+	for _, f := range rep.Findings {
+		if f.Tool != "benchgate" || f.Bench == "" || f.File != "" {
+			t.Errorf("finding %+v: want benchgate tool, a bench and no file", f)
+		}
+		checks[f.Check] = f.Bench
+	}
+	if checks["missing-bench"] != "BenchmarkDecide" || checks["regression"] != "BenchmarkVMEval" {
+		t.Fatalf("wrong check mapping: %v", checks)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := findings.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Findings) != 2 || rep2.Findings[0] != rep.Findings[0] {
+		t.Fatalf("round trip changed the report: %+v", rep2)
 	}
 }

@@ -119,7 +119,7 @@ func RegisterBaseCtxCaps(t *vm.HostTable) {
 			c := MachineExecCtx(m)
 			h := c.Host
 			h.mu.Lock()
-			h.record("vm-log", h.name, c.Unit.Manifest.Name, true, fmt.Sprintf("%d", args[0]))
+			h.recordLocked("vm-log", h.name, c.Unit.Manifest.Name, true, fmt.Sprintf("%d", args[0]))
 			h.mu.Unlock()
 			return nil, 0, nil
 		},

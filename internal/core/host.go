@@ -134,21 +134,21 @@ type Host struct {
 	auditCap       int
 
 	mu           sync.Mutex
-	services     map[string]ServiceFunc
-	published    map[string]bool // name -> fetchable
-	pending      map[uint64]*pendingReq
-	reqPool      []*pendingReq // recycled request records, guarded by mu
-	nextReq      uint64
-	agentHandler AgentHandler
-	msgHandlers  []MessageHandler
-	evalHost     func(h *Host, u *lmu.Unit) *vm.HostTable
-	evalCustom   bool // true once SetEvalHostTable overrode the default
-	evalPool     []*evalState
-	progCache    map[string]*vm.Program
-	audit        []AuditEvent
-	auditNext    int
-	stats        Stats
-	closed       bool
+	services     map[string]ServiceFunc                   // guarded by mu
+	published    map[string]bool                          // name -> fetchable; guarded by mu
+	pending      map[uint64]*pendingReq                   // guarded by mu
+	reqPool      []*pendingReq                            // recycled request records, guarded by mu
+	nextReq      uint64                                   // guarded by mu
+	agentHandler AgentHandler                             // guarded by mu
+	msgHandlers  []MessageHandler                         // guarded by mu
+	evalHost     func(h *Host, u *lmu.Unit) *vm.HostTable // guarded by mu
+	evalCustom   bool                                     // true once SetEvalHostTable overrode the default; guarded by mu
+	evalPool     []*evalState                             // guarded by mu
+	progCache    map[string]*vm.Program                   // guarded by mu
+	audit        []AuditEvent                             // guarded by mu
+	auditNext    int                                      // guarded by mu
+	stats        Stats                                    // guarded by mu
+	closed       bool                                     // guarded by mu
 }
 
 type pendingReq struct {
@@ -204,7 +204,7 @@ func NewHost(cfg Config) (*Host, error) {
 	if h.auditCap <= 0 {
 		h.auditCap = 256
 	}
-	h.evalHost = defaultEvalHostTable
+	h.evalHost = defaultEvalHostTable //lint:allow lockguard constructor: h has not escaped yet
 	h.mux = transport.NewMux(cfg.Endpoint)
 	h.kch = h.mux.Channel(transport.ChanKernel)
 	h.kch.SetHandler(h.handle)
@@ -261,8 +261,8 @@ func (h *Host) Audit() []AuditEvent {
 	return append(out, h.audit...)
 }
 
-// record appends an audit event. Caller must hold h.mu.
-func (h *Host) record(kind, peer, subject string, ok bool, detail string) {
+// recordLocked appends an audit event. Caller must hold h.mu.
+func (h *Host) recordLocked(kind, peer, subject string, ok bool, detail string) {
 	ev := AuditEvent{At: h.sched.Now(), Kind: kind, Peer: peer, Subject: subject, OK: ok, Detail: detail}
 	if len(h.audit) < h.auditCap {
 		h.audit = append(h.audit, ev)
@@ -372,10 +372,10 @@ func (h *Host) verify(kind, from string, u *lmu.Unit) error {
 	defer h.mu.Unlock()
 	if err != nil {
 		h.stats.VerifyFailures++
-		h.record("verify-fail", from, u.Manifest.Name, false, err.Error())
+		h.recordLocked("verify-fail", from, u.Manifest.Name, false, err.Error())
 		return err
 	}
-	h.record(kind, from, u.Manifest.Name, true, "")
+	h.recordLocked(kind, from, u.Manifest.Name, true, "")
 	return nil
 }
 

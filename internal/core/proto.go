@@ -77,7 +77,7 @@ func (h *Host) resolve(from string, id uint64, ok bool, errMsg string, payload *
 	h.mu.Lock()
 	p, live := h.pending[id]
 	if live && p.peer != from {
-		h.record("forged-reply", from, "", false, "reply from wrong peer")
+		h.recordLocked("forged-reply", from, "", false, "reply from wrong peer")
 		h.mu.Unlock()
 		return
 	}
@@ -361,7 +361,7 @@ func (h *Host) DeliverLocal(from, topic string, data []byte) {
 	h.stats.MessagesIn++
 	handlers := make([]MessageHandler, len(h.msgHandlers))
 	copy(handlers, h.msgHandlers)
-	h.record("message", from, topic, true, "")
+	h.recordLocked("message", from, topic, true, "")
 	h.mu.Unlock()
 	for _, fn := range handlers {
 		fn(from, topic, data)
@@ -430,7 +430,7 @@ func (h *Host) handleCall(from string, r *reader) {
 	h.mu.Lock()
 	fn, ok := h.services[service]
 	h.stats.CallsServed++
-	h.record("call", from, service, ok, "")
+	h.recordLocked("call", from, service, ok, "")
 	h.mu.Unlock()
 	if !ok {
 		h.reply(from, msgCallReply, id, false, ErrNoService.Error(), nil)
@@ -514,7 +514,7 @@ func (h *Host) handleFetch(from string, r *reader) {
 	h.mu.Lock()
 	pub := h.published[name]
 	h.stats.FetchesServed++
-	h.record("fetch", from, name, pub, "")
+	h.recordLocked("fetch", from, name, pub, "")
 	h.mu.Unlock()
 	if !pub {
 		h.reply(from, msgFetchReply, id, false, ErrNotFound.Error(), nil)
@@ -543,7 +543,7 @@ func (h *Host) handleAgent(from string, r *reader) {
 	if handler == nil {
 		h.mu.Lock()
 		h.stats.AgentsRefused++
-		h.record("agent", from, "", false, "no agent runtime")
+		h.recordLocked("agent", from, "", false, "no agent runtime")
 		h.mu.Unlock()
 		h.reply(from, msgAgentAck, id, false, ErrRefused.Error(), nil)
 		return
@@ -639,7 +639,7 @@ func BaseHostTable(h *Host, u *lmu.Unit) *vm.HostTable {
 		Name: "log", Arity: 1,
 		Fn: func(m *vm.Machine, args []int64) ([]int64, int64, error) {
 			h.mu.Lock()
-			h.record("vm-log", h.name, u.Manifest.Name, true, fmt.Sprintf("%d", args[0]))
+			h.recordLocked("vm-log", h.name, u.Manifest.Name, true, fmt.Sprintf("%d", args[0]))
 			h.mu.Unlock()
 			return nil, 0, nil
 		},

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"sort"
 	"time"
 
 	"logmob/internal/transport"
@@ -110,11 +111,7 @@ func (b *Beacon) broadcastNow() {
 		for s := range b.local {
 			services = append(services, s)
 		}
-		for i := 1; i < len(services); i++ {
-			for j := i; j > 0 && services[j] < services[j-1]; j-- {
-				services[j], services[j-1] = services[j-1], services[j]
-			}
-		}
+		sort.Strings(services)
 		for _, s := range services {
 			ad := b.local[s]
 			ad.encode(&buf)

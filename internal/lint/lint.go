@@ -1,0 +1,225 @@
+// Package lint is logmob's in-tree static-analysis framework plus the three
+// project analyzers (determinism, pooldiscipline, lockguard) that prove the
+// repo's reproducibility contracts at compile time.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape — an
+// Analyzer owns named checks and a Run function over a typechecked Pass —
+// but is built purely on the standard library (go/parser + go/types, with
+// imports resolved through the toolchain's export data) so the module needs
+// no external dependencies. cmd/logmoblint is the multichecker driver.
+//
+// Exemptions are explicit: a `//lint:allow <check> <reason>` comment on the
+// offending line (or alone on the line above it) suppresses that check
+// there. Directives require a reason, and unused directives are themselves
+// reported, so the exemption list stays greppable and honest.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one problem found by an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Analyzer is one named analysis. Checks lists every check id the analyzer
+// can emit; the runner uses it to validate //lint:allow directives.
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Checks []string
+	Run    func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic for check at pos.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Check: check, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expr, or nil.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its types.Object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// Result is a resolved diagnostic, positioned and attributed.
+type Result struct {
+	Analyzer string
+	Check    string
+	File     string // as reported by the FileSet (absolute or build-relative)
+	Line     int
+	Col      int
+	Message  string
+}
+
+// directive is one parsed //lint:allow comment. It suppresses matching
+// diagnostics on its own line (trailing form) and on the line below
+// (standalone form).
+type directive struct {
+	check  string
+	reason string
+	file   string
+	line   int
+	pos    token.Pos
+	used   bool
+}
+
+// DirectivePrefix is the comment prefix recognised as a lint directive.
+const DirectivePrefix = "//lint:allow"
+
+// parseDirectives extracts every //lint:allow directive in the package.
+// Malformed directives (no check, or no reason) are returned as diagnostics
+// under the "directive" pseudo-check so they fail the build rather than
+// silently suppressing nothing.
+func parseDirectives(pkg *Package) ([]*directive, []Result) {
+	var dirs []*directive
+	var bad []Result
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				posn := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Result{
+						Analyzer: "lint", Check: "directive",
+						File: posn.Filename, Line: posn.Line, Col: posn.Column,
+						Message: "malformed //lint:allow directive: want \"//lint:allow <check> <reason>\"",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+					file:   posn.Filename,
+					line:   posn.Line,
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics as sorted Results. //lint:allow directives suppress matching
+// diagnostics by (check, file, line); directives that suppress nothing, or
+// name a check no running analyzer owns, are reported themselves.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Result {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		for _, c := range a.Checks {
+			known[c] = true
+		}
+	}
+
+	var out []Result
+	for _, pkg := range pkgs {
+		dirs, bad := parseDirectives(pkg)
+		out = append(out, bad...)
+
+		byLine := map[string][]*directive{} // "file\x00line" -> directives
+		lineKey := func(file string, line int) string {
+			return fmt.Sprintf("%s\x00%d", file, line)
+		}
+		for _, d := range dirs {
+			// Trailing form covers its own line; standalone form covers the
+			// line below. Registering both keeps the parser source-free.
+			byLine[lineKey(d.file, d.line)] = append(byLine[lineKey(d.file, d.line)], d)
+			byLine[lineKey(d.file, d.line+1)] = append(byLine[lineKey(d.file, d.line+1)], d)
+		}
+
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, diag := range pass.diags {
+				posn := pkg.Fset.Position(diag.Pos)
+				suppressed := false
+				for _, d := range byLine[lineKey(posn.Filename, posn.Line)] {
+					if d.check == diag.Check {
+						d.used = true
+						suppressed = true
+					}
+				}
+				if suppressed {
+					continue
+				}
+				out = append(out, Result{
+					Analyzer: a.Name, Check: diag.Check,
+					File: posn.Filename, Line: posn.Line, Col: posn.Column,
+					Message: diag.Message,
+				})
+			}
+		}
+
+		// Directives for checks the running analyzer set owns must have
+		// earned their keep; stale exemptions otherwise accumulate silently.
+		for _, d := range dirs {
+			if d.used || !known[d.check] {
+				continue
+			}
+			posn := pkg.Fset.Position(d.pos)
+			out = append(out, Result{
+				Analyzer: "lint", Check: "directive",
+				File: posn.Filename, Line: posn.Line, Col: posn.Column,
+				Message: fmt.Sprintf("unused //lint:allow %s directive: nothing to suppress here", d.check),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// All returns the full logmob analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, PoolDiscipline, LockGuard}
+}

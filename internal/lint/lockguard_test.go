@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"logmob/internal/lint"
+	"logmob/internal/lint/linttest"
+)
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, lint.LockGuard, "internal/lint/testdata/src/lockguard/guarded")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"logmob/internal/lint"
+	"logmob/internal/lint/linttest"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	linttest.Run(t, lint.PoolDiscipline, "internal/lint/testdata/src/pooldiscipline/buffers")
+}

@@ -1,0 +1,125 @@
+// Package buffers is a pooldiscipline-analyzer fixture exercising pooled
+// wire.Buffer ownership tracking and netsim payload retention. Each
+// `// want` comment pins the diagnostic the line must earn; lines without
+// one must stay silent.
+package buffers
+
+import "logmob/internal/wire"
+
+// Balanced is the canonical acquire/defer-release pattern: clean.
+func Balanced() []byte {
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.PutByte(1)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// Leaks never releases its buffer.
+func Leaks() {
+	b := wire.GetBuffer() // want `never returned to the pool`
+	b.PutByte(1)
+}
+
+// OnePath releases on only one branch.
+func OnePath(ok bool) {
+	b := wire.GetBuffer() // want `reaches wire\.PutBuffer on some paths only`
+	b.PutByte(1)
+	if ok {
+		wire.PutBuffer(b)
+	}
+}
+
+// BothPaths releases on every branch: clean.
+func BothPaths(ok bool) {
+	b := wire.GetBuffer()
+	if ok {
+		wire.PutBuffer(b)
+	} else {
+		wire.PutBuffer(b)
+	}
+}
+
+// Discarded drops the buffer on the floor without even binding it.
+func Discarded() {
+	wire.GetBuffer() // want `discarded without reaching wire\.PutBuffer`
+}
+
+// Overwrite clobbers a live buffer with a fresh one.
+func Overwrite() {
+	b := wire.GetBuffer()
+	b = wire.GetBuffer() // want `overwrites "b" while it still owns a pooled buffer`
+	wire.PutBuffer(b)
+}
+
+// Transfer hands the buffer to the caller; the directive documents the
+// reviewed ownership transfer.
+func Transfer() *wire.Buffer {
+	b := wire.GetBuffer()
+	return b //lint:allow pooldiscipline caller releases the frame after writing it
+}
+
+// UnannotatedTransfer is the same shape without the annotation.
+func UnannotatedTransfer() *wire.Buffer {
+	b := wire.GetBuffer()
+	return b // want `returned to the caller`
+}
+
+// LoopLeak acquires per iteration without releasing before the iteration
+// ends.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := wire.GetBuffer() // want `can leak across loop iterations`
+		b.PutByte(byte(i))
+	}
+}
+
+// LoopBalanced releases within each iteration: clean.
+func LoopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		b := wire.GetBuffer()
+		b.PutByte(byte(i))
+		wire.PutBuffer(b)
+	}
+}
+
+type holder struct{ b *wire.Buffer }
+
+// Escapes stores the pooled buffer into longer-lived state.
+func Escapes(h *holder) {
+	b := wire.GetBuffer()
+	h.b = b // want `transfers ownership out of the acquiring function`
+}
+
+// endpoint mimics the netsim SetHandler surface so handler-retention
+// checking fires without importing the simulator.
+type endpoint struct {
+	h func(from string, payload []byte)
+}
+
+// SetHandler installs the delivery callback.
+func (e *endpoint) SetHandler(h func(from string, payload []byte)) { e.h = h }
+
+var retained []byte
+
+// InstallBadHandler aliases the pooled payload into package state.
+func InstallBadHandler(e *endpoint) {
+	e.SetHandler(func(from string, payload []byte) {
+		retained = payload // want `recycled when the handler returns`
+	})
+}
+
+var sink [][]byte
+
+// InstallAppendingHandler retains by element append (non-spread).
+func InstallAppendingHandler(e *endpoint) {
+	e.SetHandler(func(from string, payload []byte) {
+		sink = append(sink, payload) // want `appended by reference`
+	})
+}
+
+// InstallCopyingHandler copies before retaining: clean.
+func InstallCopyingHandler(e *endpoint) {
+	e.SetHandler(func(from string, payload []byte) {
+		retained = append([]byte(nil), payload...)
+	})
+}

@@ -121,11 +121,11 @@ type Stats struct {
 type Registry struct {
 	mu      sync.Mutex
 	quota   int64
-	used    int64
+	used    int64 // guarded by mu
 	policy  EvictionPolicy
 	now     func() time.Duration
-	entries map[string][]*Entry // name -> entries, any version order
-	stats   Stats
+	entries map[string][]*Entry // name -> entries, any version order; guarded by mu
+	stats   Stats               // guarded by mu
 }
 
 // Option configures a Registry.
@@ -201,7 +201,7 @@ func (r *Registry) Put(u *lmu.Unit) error {
 			return nil
 		}
 	}
-	if err := r.makeRoom(size); err != nil {
+	if err := r.makeRoomLocked(size); err != nil {
 		r.stats.Rejects++
 		return fmt.Errorf("%w: %s needs %d bytes", err, u.Manifest.Name, size)
 	}
@@ -213,27 +213,27 @@ func (r *Registry) Put(u *lmu.Unit) error {
 	return nil
 }
 
-// makeRoom evicts until size fits. Caller holds the lock.
-func (r *Registry) makeRoom(size int64) error {
+// makeRoomLocked evicts until size fits. Caller holds the lock.
+func (r *Registry) makeRoomLocked(size int64) error {
 	if r.quota <= 0 {
 		return nil
 	}
 	for r.used+size > r.quota {
-		candidates := r.evictable()
+		candidates := r.evictableLocked()
 		if len(candidates) == 0 {
 			return ErrQuotaExceeded
 		}
 		victim := r.policy.Victim(candidates)
-		r.removeEntry(victim)
+		r.removeEntryLocked(victim)
 		r.stats.Evictions++
 		r.stats.BytesEvicted += victim.Size
 	}
 	return nil
 }
 
-// evictable returns unpinned entries in deterministic (name, version) order.
+// evictableLocked returns unpinned entries in deterministic (name, version) order.
 // Caller holds the lock.
-func (r *Registry) evictable() []*Entry {
+func (r *Registry) evictableLocked() []*Entry {
 	names := make([]string, 0, len(r.entries))
 	for name := range r.entries {
 		names = append(names, name)
@@ -258,8 +258,8 @@ func insertionSort(ss []string) {
 	}
 }
 
-// removeEntry unlinks e. Caller holds the lock.
-func (r *Registry) removeEntry(victim *Entry) {
+// removeEntryLocked unlinks e. Caller holds the lock.
+func (r *Registry) removeEntryLocked(victim *Entry) {
 	name := victim.Unit.Manifest.Name
 	list := r.entries[name]
 	for i, e := range list {
@@ -285,7 +285,7 @@ func (r *Registry) Get(name string) (*lmu.Unit, bool) {
 func (r *Registry) GetAtLeast(name, minVersion string) (*lmu.Unit, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := r.best(name, minVersion)
+	e := r.bestLocked(name, minVersion)
 	if e == nil {
 		r.stats.Misses++
 		return nil, false
@@ -296,9 +296,9 @@ func (r *Registry) GetAtLeast(name, minVersion string) (*lmu.Unit, bool) {
 	return e.Unit, true
 }
 
-// best returns the newest entry of name satisfying minVersion. Caller holds
+// bestLocked returns the newest entry of name satisfying minVersion. Caller holds
 // the lock.
-func (r *Registry) best(name, minVersion string) *Entry {
+func (r *Registry) bestLocked(name, minVersion string) *Entry {
 	var found *Entry
 	for _, e := range r.entries[name] {
 		if minVersion != "" && lmu.CompareVersions(e.Unit.Manifest.Version, minVersion) < 0 {
@@ -325,7 +325,7 @@ func (r *Registry) Remove(name, version string) bool {
 	defer r.mu.Unlock()
 	for _, e := range r.entries[name] {
 		if e.Unit.Manifest.Version == version {
-			r.removeEntry(e)
+			r.removeEntryLocked(e)
 			return true
 		}
 	}
@@ -373,9 +373,9 @@ func (r *Registry) ExpireIdle(maxIdle time.Duration) int {
 	defer r.mu.Unlock()
 	cutoff := r.now() - maxIdle
 	removed := 0
-	for _, e := range r.evictable() {
+	for _, e := range r.evictableLocked() {
 		if e.LastUsed < cutoff {
-			r.removeEntry(e)
+			r.removeEntryLocked(e)
 			r.stats.Evictions++
 			r.stats.BytesEvicted += e.Size
 			removed++
@@ -398,7 +398,7 @@ func (r *Registry) Resolve(name string) ([]*lmu.Unit, error) {
 		if visited[name] {
 			return nil
 		}
-		e := r.best(name, minVersion)
+		e := r.bestLocked(name, minVersion)
 		if e == nil {
 			return fmt.Errorf("%w: %s (min version %q)", ErrNotFound, name, minVersion)
 		}

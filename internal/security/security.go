@@ -84,7 +84,7 @@ func (id *Identity) SignMode(u *lmu.Unit, mode lmu.SigMode) {
 // TrustStore maps signer names to public keys. Safe for concurrent use.
 type TrustStore struct {
 	mu   sync.RWMutex
-	keys map[string]ed25519.PublicKey
+	keys map[string]ed25519.PublicKey // guarded by mu
 }
 
 // NewTrustStore returns an empty store.

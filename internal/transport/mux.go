@@ -24,7 +24,7 @@ const (
 type Mux struct {
 	ep       Endpoint
 	mu       sync.Mutex
-	handlers map[byte]Handler
+	handlers map[byte]Handler // guarded by mu
 }
 
 // NewMux wraps ep and installs its dispatch handler.

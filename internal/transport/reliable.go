@@ -29,11 +29,11 @@ type Reliable struct {
 	cfg   ReliableConfig
 
 	mu      sync.Mutex
-	handler Handler
-	nextSeq uint64
-	pending map[uint64]*relPending
-	relFree []*relPending // recycled pending records, guarded by mu
-	stats   ReliableStats
+	handler Handler                // guarded by mu
+	nextSeq uint64                 // guarded by mu
+	pending map[uint64]*relPending // guarded by mu
+	relFree []*relPending          // recycled pending records, guarded by mu
+	stats   ReliableStats          // guarded by mu
 }
 
 // relPending is one in-flight unicast: it stays in the pending map from
@@ -131,7 +131,7 @@ func (r *Reliable) Send(to string, payload []byte) error {
 	fb.PutUint(seq)
 	fb.PutBytes(payload)
 	frame := fb.Bytes()
-	p := r.getRel()
+	p := r.getRelLocked()
 	p.attempts = 1
 	// Arm the slot and the timer under one critical section: the timer
 	// callback and the ack path both take the lock first, so neither can
@@ -199,10 +199,11 @@ func (r *Reliable) Close() error {
 	return r.ep.Close()
 }
 
-// getRel takes a pending record from the free list (r.mu must be held).
-// Records are recycled only after leaving the pending map with any retry
-// timer cancelled or fired, so no stale path can reach a reused record.
-func (r *Reliable) getRel() *relPending {
+// getRelLocked takes a pending record from the free list (r.mu must be
+// held). Records are recycled only after leaving the pending map with any
+// retry timer cancelled or fired, so no stale path can reach a reused
+// record.
+func (r *Reliable) getRelLocked() *relPending {
 	if k := len(r.relFree); k > 0 {
 		p := r.relFree[k-1]
 		r.relFree[k-1] = nil

@@ -19,9 +19,9 @@ type TCPEndpoint struct {
 	ln      net.Listener
 	addr    string
 	mu      sync.Mutex
-	conns   map[string]net.Conn
-	handler Handler
-	closed  bool
+	conns   map[string]net.Conn // guarded by mu
+	handler Handler             // guarded by mu
+	closed  bool                // guarded by mu
 	wg      sync.WaitGroup
 }
 
