@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"logmob/internal/agent"
+	"logmob/internal/app"
+	"logmob/internal/lmu"
+	"logmob/internal/scenario"
+	"logmob/internal/vm"
+)
+
+// T1 byte shapes (internal/sim T1): the bench replays the paper's traffic
+// model against live daemons with the same request/reply/state/code sizes
+// the simulated experiment uses.
+const (
+	benchReqBytes   = 200
+	benchReplyBytes = 1000
+	benchStateBytes = 600
+	benchCodeBytes  = 3000
+)
+
+// benchAgentSource is the out-and-back itinerary agent from the T1
+// experiment, rebuilt here so the bench does not depend on the simulator.
+const benchAgentSource = `
+.entry main
+main:
+	push 0
+	host a_itin_select
+	jz done
+	host a_migrate
+	pop
+	host a_select_dest
+	jz done
+	host a_migrate
+	pop
+done:
+	halt
+`
+
+var benchAgentProgram = vm.MustAssemble(benchAgentSource)
+
+// cmdBench joins the cluster through -seeds, waits for members, replays a
+// T1-style workload set over the live wire and renders the outcome table.
+// With -require-delivery it exits nonzero unless every workload delivered,
+// which is what the CI cluster smoke job asserts.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	seeds := fs.String("seeds", "", "comma-separated cluster seed addresses")
+	rounds := fs.Int64("rounds", 20, "client/server request/reply rounds")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-operation timeout and join deadline")
+	probe := fs.Duration("probe", 500*time.Millisecond, "cluster liveness probe interval")
+	require := fs.Bool("require-delivery", false, "exit nonzero unless every workload delivered")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seedList := splitSeeds(*seeds)
+	if len(seedList) == 0 {
+		return fmt.Errorf("bench: -seeds is required")
+	}
+
+	h, err := newTCPHost("127.0.0.1:0", true, false)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	live := scenario.NewLive(h, nil)
+	live.Timeout = *timeout
+	platform := agent.NewPlatform(h, agent.Env{OnDone: live.OnAgentDone})
+	live.Platform = platform
+
+	member := joinCluster(h, seedList, *probe)
+	defer member.Close()
+	deadline := time.Now().Add(*timeout)
+	for len(member.Peers()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: no cluster members discovered via %v within %v", seedList, *timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	live.Members = member.Peers()
+	fmt.Printf("bench: driving %d member(s): %v\n", len(live.Members), live.Members)
+
+	codec := func(w *scenario.World) *lmu.Unit {
+		return app.BuildCodec(w.ID, "bench", "1.0", benchCodeBytes)
+	}
+	res := live.Replay("live T1 workload", []scenario.Workload{
+		scenario.Calls{Service: "t1-req", ReqBytes: benchReqBytes,
+			ReplyBytes: benchReplyBytes, Rounds: *rounds},
+		scenario.EvalOnce{Unit: codec, Entry: "decode", Args: []int64{8}},
+		scenario.FetchRun{Unit: codec, Entry: "decode", Runs: 4, Args: []int64{8}},
+		scenario.SpawnAgent{Name: "roundtrip", Program: benchAgentProgram,
+			Data: map[string][]byte{
+				agent.KeyDest:      []byte(h.Name()),
+				agent.KeyItinerary: agent.EncodeItinerary(live.Members[:1]),
+				"state":            make([]byte, benchStateBytes),
+			},
+			Entry: "main"},
+	})
+	res.Table.Render(os.Stdout)
+	fmt.Printf("bench: %d operation(s) delivered\n", res.Delivered)
+
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s (%s): %v\n", row.Workload, row.Paradigm, row.Err)
+		}
+	}
+	if *require {
+		for _, row := range res.Rows {
+			if row.Delivered == 0 {
+				return fmt.Errorf("bench: %s (%s) delivered nothing", row.Workload, row.Paradigm)
+			}
+		}
+		if res.Delivered == 0 {
+			return fmt.Errorf("bench: nothing delivered")
+		}
+	}
+	return nil
+}

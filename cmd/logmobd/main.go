@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	logmobd serve -listen 127.0.0.1:7001 [-allow-unsigned]
+//	logmobd serve -listen 127.0.0.1:7001 [-allow-unsigned] [-seeds A,B] [-probe 2s]
 //	    Run a node serving Remote Evaluation, hosting agents, offering an
-//	    "echo" service and publishing a demo component "tool/add".
+//	    "echo" service and publishing a demo component "tool/add". With
+//	    -seeds, join the cluster bootstrapped through those addresses.
 //
 //	logmobd call -to ADDR -service echo -arg hello
 //	    Invoke a Client/Server service.
@@ -16,6 +17,13 @@
 //
 //	logmobd fetch -to ADDR -name tool/add [-entry main] [-args 1,2]
 //	    Fetch a published component (Code On Demand) and run it locally.
+//
+//	logmobd bench -seeds A[,B...] [-rounds 20] [-require-delivery]
+//	    Join the cluster and replay a T1-style scenario workload against
+//	    the live members, reporting the same metrics tables as simulated
+//	    runs.
+//
+// Client subcommands accept -timeout to bound the wait (default 30s).
 package main
 
 import (
@@ -25,11 +33,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"logmob/internal/agent"
+	"logmob/internal/cluster"
 	"logmob/internal/core"
 	"logmob/internal/lmu"
+	"logmob/internal/scenario"
 	"logmob/internal/security"
 	"logmob/internal/transport"
 	"logmob/internal/vm"
@@ -37,7 +48,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch ...")
+		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch|bench ...")
 		os.Exit(2)
 	}
 	var err error
@@ -50,8 +61,10 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "fetch":
 		err = cmdFetch(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	default:
-		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch ...")
+		fmt.Fprintln(os.Stderr, "usage: logmobd serve|call|eval|fetch|bench ...")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -61,27 +74,51 @@ func main() {
 }
 
 // newTCPHost builds a kernel host on a TCP endpoint.
-func newTCPHost(listen string, allowUnsigned bool) (*core.Host, error) {
+func newTCPHost(listen string, allowUnsigned, servePublish bool) (*core.Host, error) {
 	ep, err := transport.ListenTCP(listen)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewHost(core.Config{
-		Endpoint:  ep,
-		Scheduler: transport.NewWallScheduler(),
-		Policy:    security.Policy{AllowUnsigned: allowUnsigned},
-		ServeEval: true,
+		Endpoint:     ep,
+		Scheduler:    transport.NewWallScheduler(),
+		Policy:       security.Policy{AllowUnsigned: allowUnsigned},
+		ServeEval:    true,
+		ServePublish: servePublish,
 	})
+}
+
+// joinCluster attaches a membership node to the host's cluster channel.
+func joinCluster(h *core.Host, seeds []string, probe time.Duration) *cluster.Node {
+	return cluster.Join(h.Mux().Channel(transport.ChanCluster), h.Scheduler(), cluster.Config{
+		Seeds:      seeds,
+		ProbeEvery: probe,
+		OnJoin:     func(addr string) { fmt.Printf("cluster: %s joined\n", addr) },
+		OnLeave:    func(addr string) { fmt.Printf("cluster: %s evicted\n", addr) },
+	})
+}
+
+// splitSeeds parses a comma-separated seed list.
+func splitSeeds(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7001", "listen address")
 	allowUnsigned := fs.Bool("allow-unsigned", true, "accept unsigned units (demo default)")
+	seeds := fs.String("seeds", "", "comma-separated cluster seed addresses")
+	probe := fs.Duration("probe", 2*time.Second, "cluster liveness probe interval")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h, err := newTCPHost(*listen, *allowUnsigned)
+	h, err := newTCPHost(*listen, *allowUnsigned, true)
 	if err != nil {
 		return err
 	}
@@ -89,6 +126,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("echo from %s: %d frame(s)\n", from, len(args))
 		return args, nil
 	})
+	h.RegisterService(scenario.SinkServiceName, scenario.SinkService())
 	addUnit := &lmu.Unit{
 		Manifest: lmu.Manifest{Name: "tool/add", Version: "1.0", Kind: lmu.KindComponent},
 		Code:     vm.MustAssemble(".entry main\nmain:\nadd\nhalt\n").Encode(),
@@ -106,17 +144,24 @@ func cmdServe(args []string) error {
 		fmt.Printf("message from %s [%s]: %q\n", from, topic, data)
 	})
 
+	// Always a cluster member, even with no seeds: a seed node has nobody
+	// to bootstrap from but must still answer joiners' hellos.
+	member := joinCluster(h, splitSeeds(*seeds), *probe)
+
 	fmt.Printf("logmobd node %s: serving eval, hosting agents, publishing tool/add\n", h.Addr())
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// SIGTERM too: process managers and CI send it, and a daemon that only
+	// honours ^C never runs its shutdown path under them.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	member.Close()
 	return h.Close()
 }
 
 // clientHost makes an ephemeral host for one client operation.
 func clientHost() (*core.Host, error) {
-	return newTCPHost("127.0.0.1:0", true)
+	return newTCPHost("127.0.0.1:0", true, false)
 }
 
 func cmdCall(args []string) error {
@@ -124,6 +169,7 @@ func cmdCall(args []string) error {
 	to := fs.String("to", "", "server address")
 	service := fs.String("service", "echo", "service name")
 	arg := fs.String("arg", "", "single string argument")
+	timeout := fs.Duration("timeout", 30*time.Second, "reply wait timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,7 +190,7 @@ func cmdCall(args []string) error {
 		}
 		done <- err
 	})
-	return wait(done)
+	return wait(done, *timeout)
 }
 
 func cmdEval(args []string) error {
@@ -153,6 +199,7 @@ func cmdEval(args []string) error {
 	src := fs.String("src", "", "assembly source file")
 	entry := fs.String("entry", "main", "entry point")
 	argList := fs.String("args", "", "comma-separated integer args")
+	timeout := fs.Duration("timeout", 30*time.Second, "reply wait timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,7 +230,7 @@ func cmdEval(args []string) error {
 		}
 		done <- err
 	})
-	return wait(done)
+	return wait(done, *timeout)
 }
 
 func cmdFetch(args []string) error {
@@ -192,6 +239,7 @@ func cmdFetch(args []string) error {
 	name := fs.String("name", "tool/add", "published unit name")
 	entry := fs.String("entry", "main", "entry point to run after fetching")
 	argList := fs.String("args", "20,22", "comma-separated integer args")
+	timeout := fs.Duration("timeout", 30*time.Second, "reply wait timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,7 +264,7 @@ func cmdFetch(args []string) error {
 		}
 		done <- err
 	})
-	return wait(done)
+	return wait(done, *timeout)
 }
 
 func parseInts(list string) []int64 {
@@ -235,11 +283,11 @@ func parseInts(list string) []int64 {
 	return out
 }
 
-func wait(done chan error) error {
+func wait(done chan error, timeout time.Duration) error {
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("timed out")
+	case <-time.After(timeout):
+		return fmt.Errorf("timed out after %v", timeout)
 	}
 }

@@ -77,6 +77,8 @@ type Stats struct {
 	FetchesServed            int64
 	AgentsSent, AgentsIn     int64
 	AgentsRefused            int64
+	PublishesSent            int64
+	PublishesServed          int64
 	VerifyFailures           int64
 	Timeouts                 int64
 	MessagesIn, MessagesSent int64
@@ -103,6 +105,10 @@ type Config struct {
 	Policy security.Policy
 	// ServeEval enables execution of incoming Remote Evaluation requests.
 	ServeEval bool
+	// ServePublish lets remote hosts push units into this host's registry
+	// and publish them for Fetch service (PublishTo). Units still pass the
+	// host's verification policy.
+	ServePublish bool
 	// EvalFuel bounds each foreign evaluation; default 1e6 instructions.
 	EvalFuel int64
 	// ComputeRate models the host's CPU speed as VM instructions per second
@@ -128,6 +134,7 @@ type Host struct {
 	pol   security.Policy
 
 	serveEval      bool
+	servePublish   bool
 	evalFuel       int64
 	computeRate    float64
 	requestTimeout time.Duration
@@ -175,6 +182,7 @@ func NewHost(cfg Config) (*Host, error) {
 		trust:          cfg.Trust,
 		pol:            cfg.Policy,
 		serveEval:      cfg.ServeEval,
+		servePublish:   cfg.ServePublish,
 		evalFuel:       cfg.EvalFuel,
 		computeRate:    cfg.ComputeRate,
 		requestTimeout: cfg.RequestTimeout,

@@ -23,6 +23,8 @@ const (
 	msgAgent
 	msgAgentAck
 	msgUser
+	msgPublish
+	msgPublishReply
 )
 
 // newRequest allocates a request ID and registers its reply callback with a
@@ -338,6 +340,33 @@ func (h *Host) SendAgent(to string, unit *lmu.Unit, cb func(err error)) {
 	}
 }
 
+// PublishTo pushes a unit to the host at to and asks it to publish it for
+// Fetch service there. This is how a load driver or deployment tool
+// provisions remote daemons with components they can then serve Code On
+// Demand from; the receiver accepts only if configured with ServePublish
+// and the unit passes its verification policy.
+func (h *Host) PublishTo(to string, unit *lmu.Unit, cb func(err error)) {
+	h.mu.Lock()
+	h.stats.PublishesSent++
+	h.mu.Unlock()
+	id := h.newRequest(to, func(ok bool, errMsg string, r *reader) {
+		if !ok {
+			cb(remoteErr(errMsg))
+			return
+		}
+		cb(nil)
+	})
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.PutByte(msgPublish)
+	b.PutUint(id)
+	b.PutPacked(unit)
+	if err := h.kch.Send(to, b.Bytes()); err != nil {
+		h.abandon(id)
+		cb(fmt.Errorf("core: publish to %s: %w", to, err))
+	}
+}
+
 // SendMessage delivers an application-level message to the host at to.
 func (h *Host) SendMessage(to, topic string, data []byte) error {
 	h.mu.Lock()
@@ -374,7 +403,7 @@ func (h *Host) handle(from string, payload []byte) {
 	switch r.Byte() {
 	case msgCall:
 		h.handleCall(from, r)
-	case msgCallReply, msgEvalReply, msgFetchReply, msgAgentAck:
+	case msgCallReply, msgEvalReply, msgFetchReply, msgAgentAck, msgPublishReply:
 		id := r.Uint()
 		ok := r.Bool()
 		errMsg := r.String()
@@ -388,6 +417,8 @@ func (h *Host) handle(from string, payload []byte) {
 		h.handleFetch(from, r)
 	case msgAgent:
 		h.handleAgent(from, r)
+	case msgPublish:
+		h.handlePublish(from, r)
 	case msgUser:
 		topic := r.String()
 		data := r.Bytes()
@@ -582,6 +613,39 @@ func (h *Host) handleAgent(from string, r *reader) {
 		}
 		h.reply(from, msgAgentAck, id, true, "", nil)
 	})
+}
+
+func (h *Host) handlePublish(from string, r *reader) {
+	id := r.Uint()
+	packed := r.Bytes()
+	if r.ExpectEOF() != nil {
+		return
+	}
+	h.mu.Lock()
+	serve := h.servePublish
+	h.stats.PublishesServed++
+	if !serve {
+		h.recordLocked("publish", from, "", false, "publishing disabled")
+	}
+	h.mu.Unlock()
+	if !serve {
+		h.reply(from, msgPublishReply, id, false, ErrRefused.Error(), nil)
+		return
+	}
+	u, err := lmu.Unpack(packed)
+	if err != nil {
+		h.reply(from, msgPublishReply, id, false, err.Error(), nil)
+		return
+	}
+	if err := h.verify("publish", from, u); err != nil {
+		h.reply(from, msgPublishReply, id, false, err.Error(), nil)
+		return
+	}
+	if err := h.Publish(u); err != nil {
+		h.reply(from, msgPublishReply, id, false, err.Error(), nil)
+		return
+	}
+	h.reply(from, msgPublishReply, id, true, "", nil)
 }
 
 // defaultEvalHostTable grants foreign evaluations a minimal, safe capability

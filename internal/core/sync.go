@@ -82,3 +82,16 @@ func (h *Host) SendAgentSync(ctx context.Context, to string, unit *lmu.Unit) err
 		return ctx.Err()
 	}
 }
+
+// PublishToSync pushes a unit to a remote host for Fetch service there and
+// waits for its accept or refuse.
+func (h *Host) PublishToSync(ctx context.Context, to string, unit *lmu.Unit) error {
+	ch := make(chan error, 1)
+	h.PublishTo(to, unit, func(err error) { ch <- err })
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -16,6 +16,9 @@ const (
 	ChanLookup byte = 2
 	// ChanBeacon carries decentralised discovery beacons.
 	ChanBeacon byte = 3
+	// ChanCluster carries the real-wire bootstrap/join membership protocol
+	// (internal/cluster).
+	ChanCluster byte = 4
 )
 
 // Mux multiplexes several logical channels over one Endpoint by prefixing

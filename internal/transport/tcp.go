@@ -6,23 +6,61 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"logmob/internal/wire"
 )
+
+// tcpConn is one live TCP connection plus its write lock. Frame writes are
+// serialised per connection, not per endpoint, so one backpressured peer
+// stalls only senders to that peer.
+type tcpConn struct {
+	c  net.Conn
+	mu sync.Mutex // serialises frame writes on c
+}
+
+func (tc *tcpConn) writeFrame(frame []byte) (int, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return wire.WriteFrame(tc.c, frame)
+}
+
+// TCPUsage counts an endpoint's application traffic (hello frames included),
+// mirroring what the simulator meters per node so live runs can report the
+// same traffic rows as simulated ones.
+type TCPUsage struct {
+	MsgsSent, BytesSent int64
+	MsgsRecv, BytesRecv int64
+}
 
 // TCPEndpoint is an Endpoint over real TCP connections. Each message is one
 // wire frame containing the sender address and the payload. Connections are
 // opened lazily on first send and reused; inbound connections announce the
 // peer's canonical address in a hello frame.
 type TCPEndpoint struct {
-	ln      net.Listener
-	addr    string
+	ln   net.Listener
+	addr string
+
 	mu      sync.Mutex
-	conns   map[string]net.Conn // guarded by mu
+	conns   map[string]*tcpConn // peer -> adopted conn; guarded by mu
+	dialing map[string]*tcpDial // in-flight dials by peer; guarded by mu
+	live    map[net.Conn]bool   // every open conn, adopted or not; guarded by mu
 	handler Handler             // guarded by mu
 	closed  bool                // guarded by mu
 	wg      sync.WaitGroup
+
+	msgsSent, bytesSent atomic.Int64
+	msgsRecv, bytesRecv atomic.Int64
+}
+
+// tcpDial is one in-flight outbound dial, deduplicating concurrent senders
+// to the same peer (singleflight): the first caller dials, the rest wait on
+// done and share the result.
+type tcpDial struct {
+	done chan struct{}
+	tc   *tcpConn
+	err  error
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
@@ -34,9 +72,11 @@ func ListenTCP(listenAddr string) (*TCPEndpoint, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
 	e := &TCPEndpoint{
-		ln:    ln,
-		addr:  ln.Addr().String(),
-		conns: make(map[string]net.Conn),
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		conns:   make(map[string]*tcpConn),
+		dialing: make(map[string]*tcpDial),
+		live:    make(map[net.Conn]bool),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -46,11 +86,44 @@ func ListenTCP(listenAddr string) (*TCPEndpoint, error) {
 // Addr returns the endpoint's listen address.
 func (e *TCPEndpoint) Addr() string { return e.addr }
 
+// Usage returns a snapshot of the endpoint's traffic counters.
+func (e *TCPEndpoint) Usage() TCPUsage {
+	return TCPUsage{
+		MsgsSent: e.msgsSent.Load(), BytesSent: e.bytesSent.Load(),
+		MsgsRecv: e.msgsRecv.Load(), BytesRecv: e.bytesRecv.Load(),
+	}
+}
+
 // SetHandler installs the receive callback.
 func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handler = h
+}
+
+// track registers a new connection in the live set and reserves a reader
+// slot in the waitgroup, or reports false if the endpoint is closed (the
+// caller must close the conn). Registration and the closed check share one
+// critical section with Close, so every connection is either closed by
+// Close or was never tracked — an accepted-but-silent inbound conn can no
+// longer be missed and hang wg.Wait.
+func (e *TCPEndpoint) track(c net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.live[c] = true
+	e.wg.Add(1)
+	return true
+}
+
+// untrack removes a connection from the live set and closes it.
+func (e *TCPEndpoint) untrack(c net.Conn) {
+	e.mu.Lock()
+	delete(e.live, c)
+	e.mu.Unlock()
+	c.Close()
 }
 
 func (e *TCPEndpoint) acceptLoop() {
@@ -60,23 +133,28 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		e.wg.Add(1)
-		go e.readLoop(conn, "")
+		if !e.track(conn) {
+			conn.Close()
+			return
+		}
+		go e.readLoop(&tcpConn{c: conn}, "")
 	}
 }
 
-// readLoop consumes frames from conn. peer is the canonical remote address
+// readLoop consumes frames from tc. peer is the canonical remote address
 // once known; for inbound connections it is learned from the first frame.
-func (e *TCPEndpoint) readLoop(conn net.Conn, peer string) {
+// The caller must have tracked the connection (which reserves the reader's
+// waitgroup slot).
+func (e *TCPEndpoint) readLoop(tc *tcpConn, peer string) {
 	defer e.wg.Done()
-	defer conn.Close()
-	br := bufio.NewReader(conn)
+	defer e.untrack(tc.c)
+	br := bufio.NewReader(tc.c)
 	var buf []byte // per-connection frame buffer, reused across reads
 	for {
 		frame, err := wire.ReadFrameInto(br, buf)
 		if err != nil {
 			if peer != "" {
-				e.dropConn(peer, conn)
+				e.dropConn(peer, tc)
 			}
 			return
 		}
@@ -87,9 +165,11 @@ func (e *TCPEndpoint) readLoop(conn net.Conn, peer string) {
 		if r.ExpectEOF() != nil || from == "" {
 			continue // malformed frame; skip
 		}
+		e.msgsRecv.Add(1)
+		e.bytesRecv.Add(int64(len(frame)))
 		if peer == "" {
 			peer = from
-			e.adoptConn(peer, conn)
+			e.adoptConn(peer, tc)
 		}
 		e.mu.Lock()
 		h := e.handler
@@ -102,18 +182,18 @@ func (e *TCPEndpoint) readLoop(conn net.Conn, peer string) {
 
 // adoptConn records an inbound connection under the peer's canonical address
 // so replies reuse it.
-func (e *TCPEndpoint) adoptConn(peer string, conn net.Conn) {
+func (e *TCPEndpoint) adoptConn(peer string, tc *tcpConn) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, exists := e.conns[peer]; !exists {
-		e.conns[peer] = conn
+		e.conns[peer] = tc
 	}
 }
 
-func (e *TCPEndpoint) dropConn(peer string, conn net.Conn) {
+func (e *TCPEndpoint) dropConn(peer string, tc *tcpConn) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.conns[peer] == conn {
+	if e.conns[peer] == tc {
 		delete(e.conns, peer)
 	}
 }
@@ -121,56 +201,95 @@ func (e *TCPEndpoint) dropConn(peer string, conn net.Conn) {
 // ErrClosed reports an operation on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
-func (e *TCPEndpoint) getConn(to string) (net.Conn, error) {
+// getConn returns the adopted connection to a peer, dialing one if needed.
+// Concurrent callers for the same peer share a single dial: the losers wait
+// for the winner instead of racing their own sockets into existence and
+// closing the spares — a spare whose hello the remote had already adopted
+// was the remote's reply path, and closing it silently severed it.
+func (e *TCPEndpoint) getConn(to string) (*tcpConn, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if conn, ok := e.conns[to]; ok {
+	if tc, ok := e.conns[to]; ok {
 		e.mu.Unlock()
-		return conn, nil
+		return tc, nil
 	}
+	if d, ok := e.dialing[to]; ok {
+		e.mu.Unlock()
+		<-d.done
+		if d.err != nil {
+			return nil, d.err
+		}
+		return d.tc, nil
+	}
+	d := &tcpDial{done: make(chan struct{})}
+	e.dialing[to] = d
 	e.mu.Unlock()
 
+	conn, err := e.dial(to)
+
+	e.mu.Lock()
+	delete(e.dialing, to)
+	var tc *tcpConn
+	if err == nil {
+		if e.closed {
+			err = ErrClosed
+			conn.Close()
+		} else {
+			tc = &tcpConn{c: conn}
+			e.live[conn] = true
+			e.wg.Add(1)
+			// Adopt the dialed conn unless an inbound conn from the same
+			// peer was adopted while the dial was in flight (crossed
+			// simultaneous dials). Either way the dialed conn stays open
+			// with its own read loop: its hello may already be the
+			// remote's adopted reply path.
+			if existing, ok := e.conns[to]; ok {
+				d.tc = existing
+			} else {
+				e.conns[to] = tc
+				d.tc = tc
+			}
+		}
+	}
+	d.err = err
+	e.mu.Unlock()
+	close(d.done)
+	if err != nil {
+		return nil, err
+	}
+	go e.readLoop(tc, to)
+	return d.tc, nil
+}
+
+// dial opens a connection to a peer and sends the hello frame (empty
+// payload) announcing our canonical address so the peer can route replies
+// over this connection.
+func (e *TCPEndpoint) dial(to string) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", to, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
 	}
-	// Send a hello frame (empty payload) announcing our canonical address so
-	// the peer can route replies over this connection.
 	hello := wire.GetBuffer()
 	hello.PutString(e.addr)
 	hello.PutBytes(nil)
-	_, err = wire.WriteFrame(conn, hello.Bytes())
+	n, err := wire.WriteFrame(conn, hello.Bytes())
 	wire.PutBuffer(hello)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		conn.Close()
-		return nil, ErrClosed
-	}
-	if existing, ok := e.conns[to]; ok {
-		e.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
-	e.conns[to] = conn
-	e.mu.Unlock()
-
-	e.wg.Add(1)
-	go e.readLoop(conn, to)
+	e.bytesSent.Add(int64(n))
 	return conn, nil
 }
 
-// Send transmits payload to the endpoint listening at to.
+// Send transmits payload to the endpoint listening at to. The write holds
+// only the target connection's lock, so a slow or backpressured peer cannot
+// stall sends to other peers, Neighbors, SetHandler or Close.
 func (e *TCPEndpoint) Send(to string, payload []byte) error {
-	conn, err := e.getConn(to)
+	tc, err := e.getConn(to)
 	if err != nil {
 		return err
 	}
@@ -178,15 +297,14 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	defer wire.PutBuffer(frame)
 	frame.PutString(e.addr)
 	frame.PutBytes(payload)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, err := wire.WriteFrame(conn, frame.Bytes()); err != nil {
-		if e.conns[to] == conn {
-			delete(e.conns, to)
-		}
-		conn.Close()
+	n, err := tc.writeFrame(frame.Bytes())
+	if err != nil {
+		e.dropConn(to, tc)
+		e.untrack(tc.c)
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	e.msgsSent.Add(1)
+	e.bytesSent.Add(int64(n))
 	return nil
 }
 
@@ -202,18 +320,25 @@ func (e *TCPEndpoint) Broadcast(payload []byte) int {
 	return len(peers)
 }
 
-// Neighbors returns the addresses of currently connected peers.
+// Neighbors returns the addresses of currently connected peers, sorted.
 func (e *TCPEndpoint) Neighbors() []string {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]string, 0, len(e.conns))
 	for peer := range e.conns {
 		out = append(out, peer)
 	}
+	e.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
-// Close shuts the listener and all connections down and waits for reader
+// Close shuts the listener and every live connection down — adopted or not,
+// so a connection that was accepted but never sent its hello cannot keep a
+// read loop (and therefore Close) waiting — and waits for all reader
 // goroutines to exit.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
@@ -223,8 +348,10 @@ func (e *TCPEndpoint) Close() error {
 	}
 	e.closed = true
 	err := e.ln.Close()
-	for peer, conn := range e.conns {
-		conn.Close()
+	for c := range e.live {
+		c.Close()
+	}
+	for peer := range e.conns {
 		delete(e.conns, peer)
 	}
 	e.mu.Unlock()

@@ -34,6 +34,7 @@ import (
 
 	"logmob/internal/adapt"
 	"logmob/internal/agent"
+	"logmob/internal/cluster"
 	"logmob/internal/core"
 	"logmob/internal/ctxsvc"
 	"logmob/internal/discovery"
@@ -303,6 +304,50 @@ func ListenTCP(addr string) (*transport.TCPEndpoint, error) { return transport.L
 
 // NewWallScheduler returns a wall-clock scheduler for real-TCP hosts.
 func NewWallScheduler() *transport.WallScheduler { return transport.NewWallScheduler() }
+
+// Real-wire cluster mode: N daemons on real sockets discover each other
+// through seed nodes, keep a live peer set with probing and eviction, and
+// heal when members restart. Scenario workloads replay against the live
+// members with the same metrics tables as simulated runs.
+type (
+	// ClusterNode is one member of a bootstrapped daemon cluster.
+	ClusterNode = cluster.Node
+	// ClusterConfig tunes seeds, probing and eviction.
+	ClusterConfig = cluster.Config
+	// ClusterStats counts membership activity.
+	ClusterStats = cluster.Stats
+	// TCPUsage snapshots a TCP endpoint's traffic counters.
+	TCPUsage = transport.TCPUsage
+	// LiveReplay drives scenario workloads against a running cluster.
+	LiveReplay = scenario.Live
+	// LiveReplayResult is the outcome of one live replay.
+	LiveReplayResult = scenario.LiveResult
+	// LiveReplayRow is one workload's live outcome.
+	LiveReplayRow = scenario.LiveRow
+)
+
+// ChanCluster is the mux channel the membership protocol rides on.
+const ChanCluster = transport.ChanCluster
+
+// SinkServiceName names the echo service live daemons register so Calls
+// workloads have a fixed landing pad (see NewSinkService).
+const SinkServiceName = scenario.SinkServiceName
+
+// JoinCluster starts a cluster member on ch (conventionally the host mux's
+// ChanCluster channel) and bootstraps through cfg.Seeds.
+func JoinCluster(ch transport.Endpoint, sched transport.Scheduler, cfg ClusterConfig) *ClusterNode {
+	return cluster.Join(ch, sched, cfg)
+}
+
+// NewSinkService returns the well-known echo service a live daemon
+// registers under SinkServiceName.
+func NewSinkService() core.ServiceFunc { return scenario.SinkService() }
+
+// NewLiveReplay returns a driver replaying workloads from client against
+// the given cluster member addresses.
+func NewLiveReplay(client *Host, members []string) *LiveReplay {
+	return scenario.NewLive(client, members)
+}
 
 // Mobility models for simulated populations.
 type (
