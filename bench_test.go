@@ -368,6 +368,29 @@ func BenchmarkT11FestivalScale(b *testing.B) { benchExperiment(b, "T11") }
 // end to end.
 func BenchmarkT14AdaptiveLoop(b *testing.B) { benchExperiment(b, "T14") }
 
+// BenchmarkT15Metropolis regenerates the metropolis scenario at its
+// differential-test scale (1500 residents — the full 100k run is a
+// multi-minute experiment, not a benchmark iteration): the sparse
+// time-wheel tick, the hierarchical grid's district-local queries and the
+// region-sharded move commit, end to end under all four paradigms. This is
+// the regression canary for the engine that makes the full T15 tractable.
+func BenchmarkT15Metropolis(b *testing.B) {
+	e, ok := sim.ByID("T15")
+	if !ok {
+		b.Fatal("no experiment T15")
+	}
+	params := map[string]float64{
+		"residents": 1500, "kiosks": 9, "field": 1200, "couriers": 8, "duration": 120,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.RunWith(int64(i+1), params)
+		if len(res.Tables) == 0 {
+			b.Fatal("T15 produced no tables")
+		}
+	}
+}
+
 // BenchmarkDecide measures one live decision: a validated, EWMA-smoothed,
 // hysteretic paradigm selection over a sensed context — the hot call the
 // adaptation engine makes before every interaction.

@@ -35,8 +35,9 @@ import (
 
 // defaultBenches is the hot set: the end-to-end experiment benches the
 // campaign's acceptance criteria name plus the micro-benches over the pooled
-// paths.
-const defaultBenches = "BenchmarkT3Disaster,BenchmarkT4DisasterLatency,BenchmarkT11FestivalScale,BenchmarkT14AdaptiveLoop,BenchmarkDecide,BenchmarkLMUPackUnpack,BenchmarkReadFrame,BenchmarkVMEval"
+// paths. BenchmarkT15Metropolis gates the sparse-tick engine (time wheel +
+// hierarchical grid) end to end at the metropolis scenario's short config.
+const defaultBenches = "BenchmarkT3Disaster,BenchmarkT4DisasterLatency,BenchmarkT11FestivalScale,BenchmarkT14AdaptiveLoop,BenchmarkT15Metropolis,BenchmarkDecide,BenchmarkLMUPackUnpack,BenchmarkReadFrame,BenchmarkVMEval"
 
 // Result holds one benchmark's measurements.
 type Result struct {

@@ -91,6 +91,11 @@ func (b *Beacon) tick() {
 	if !b.running {
 		return
 	}
+	// Miss eviction is time-driven, anchored to the beacon's own cadence:
+	// a silent neighbor's ads decay even if nobody ever queries this cache.
+	// (Queries still run the same sweep, so a Find between ticks sees
+	// exactly what lazy-only eviction produced.)
+	b.evictMissing()
 	b.broadcastNow()
 	b.stop = b.sched.After(b.interval, b.tick)
 }

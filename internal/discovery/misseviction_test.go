@@ -80,3 +80,22 @@ func TestBeaconMissEvictionDisabled(t *testing.T) {
 		t.Fatalf("Evicted = %d with eviction disabled", bb.Evicted)
 	}
 }
+
+// TestBeaconMissEvictionWhileQuiescent pins the time-driven half of miss
+// eviction: a listener that is never queried (no Find/CacheSize/Providers —
+// the lazy sweep never runs) must still drop a silent provider's ads on its
+// own beacon cadence. Before eviction moved onto the beacon tick, the stale
+// ads of a crashed neighbor lingered until somebody happened to poll.
+func TestBeaconMissEvictionWhileQuiescent(t *testing.T) {
+	r, ba, bb := beaconPairRig(t, 3)
+	r.sim.RunFor(20 * time.Second)
+	ba.Stop()
+	r.sim.RunFor(40 * time.Second) // well past 3 intervals of silence
+	// Inspect internals only: the public query paths would themselves sweep.
+	if bb.Evicted != 1 {
+		t.Fatalf("Evicted = %d without any cache query, want 1 (tick-driven sweep)", bb.Evicted)
+	}
+	if got := bb.cache.size(); got != 0 {
+		t.Fatalf("silent provider's ads still cached (%d) without any query", got)
+	}
+}

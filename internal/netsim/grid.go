@@ -2,27 +2,67 @@ package netsim
 
 import "math"
 
-// cellKey addresses one cell of the uniform grid.
+// cellKey addresses one fine cell of the hierarchical grid.
 type cellKey struct{ cx, cy int32 }
 
-// grid is a uniform spatial index over the network's non-infrastructure
-// nodes. Cells are squares of cellSize metres keyed by their integer
-// coordinates; cellSize tracks the largest finite radio range seen, so a
-// range query never has to look beyond the ring of cells adjacent to the
-// query radius. Infrastructure nodes are position-independent and live in
-// the Network's dedicated infra set instead.
+// regionKey addresses one coarse region: a regionSide x regionSide block of
+// fine cells.
+type regionKey struct{ rx, ry int32 }
+
+const (
+	// regionShift is log2 of the region side length in cells. Regions are
+	// 8x8 fine cells: a 3x3-cell range query touches at most four regions,
+	// and one region directory hit resolves 64 cells by array index.
+	regionShift = 3
+	regionSide  = 1 << regionShift
+	regionMask  = regionSide - 1
+)
+
+// regionOf returns the coarse region containing a fine cell. Arithmetic
+// right shift floors negative coordinates, matching keyFor's math.Floor.
+func regionOf(k cellKey) regionKey {
+	return regionKey{rx: k.cx >> regionShift, ry: k.cy >> regionShift}
+}
+
+// localIdx returns a cell's slot in its region's dense cell array
+// (row-major, matching the flat grid's cy-then-cx query order).
+func localIdx(k cellKey) int32 {
+	return (k.cy&regionMask)*regionSide + (k.cx & regionMask)
+}
+
+// gridRegion is one coarse region: a dense array of fine-cell buckets plus
+// an occupancy count. Queries index cells without hashing, and an empty
+// region is skipped wholesale — at metropolis scale most of the field is
+// empty regions that cost one directory miss each.
+type gridRegion struct {
+	cells [regionSide * regionSide][]*Node
+	count int
+}
+
+// grid is the two-level hierarchical spatial index over the network's
+// non-infrastructure nodes: a coarse region directory (hash map) over dense
+// 8x8 blocks of fine cells. Fine cells are squares of cellSize metres keyed
+// by their integer coordinates; cellSize tracks the largest finite radio
+// range seen, so a range query never has to look beyond the ring of cells
+// adjacent to the query radius. Infrastructure nodes are
+// position-independent and live in the Network's dedicated infra set
+// instead.
 //
 // The grid is a pure candidate generator: queries append whole cells and
 // the caller re-checks exact connectivity, so membership only has to be
-// positionally correct, never range- or liveness-aware.
+// positionally correct, never range- or liveness-aware. Cell-bucket order
+// is unspecified (callers sort by insertion order before anything
+// order-sensitive), which is what makes the parallel same-region move
+// commit in parallel.go safe.
 type grid struct {
 	cellSize float64
-	cells    map[cellKey][]*Node
+	regions  map[regionKey]*gridRegion
 	count    int
+	free     []*gridRegion // recycled empty regions, bucket capacity kept warm
 }
 
 func newGrid() *grid {
-	return &grid{cellSize: 1, cells: make(map[cellKey][]*Node)}
+	return &grid{cellSize: 1, regions: make(map[regionKey]*gridRegion)}
 }
 
 func (g *grid) keyFor(p Position) cellKey {
@@ -32,39 +72,93 @@ func (g *grid) keyFor(p Position) cellKey {
 	}
 }
 
+// region returns the region holding fine cell k, or nil.
+func (g *grid) region(k cellKey) *gridRegion {
+	return g.regions[regionOf(k)]
+}
+
 // insert indexes node at its current gridPos.
 func (g *grid) insert(node *Node) {
 	k := g.keyFor(node.gridPos)
 	node.cell = k
-	s := g.cells[k]
+	g.insertAt(node, k)
+}
+
+// insertAt indexes node into fine cell k (node.cell must already be k),
+// materializing the region on first occupancy.
+func (g *grid) insertAt(node *Node, k cellKey) {
+	rk := regionOf(k)
+	reg := g.regions[rk]
+	if reg == nil {
+		if n := len(g.free); n > 0 {
+			reg = g.free[n-1]
+			g.free[n-1] = nil
+			g.free = g.free[:n-1]
+		} else {
+			reg = &gridRegion{}
+		}
+		g.regions[rk] = reg
+	}
+	li := localIdx(k)
+	s := reg.cells[li]
 	node.cellSlot = len(s)
-	g.cells[k] = append(s, node)
+	reg.cells[li] = append(s, node)
+	reg.count++
 	g.count++
 }
 
-// remove unindexes node from its recorded cell in O(1) by swap-removal.
+// remove unindexes node from its recorded cell in O(1) by swap-removal,
+// retiring the region when it empties.
 func (g *grid) remove(node *Node) {
-	s := g.cells[node.cell]
+	rk := regionOf(node.cell)
+	reg := g.regions[rk]
+	reg.removeFromCell(node)
+	reg.count--
+	g.count--
+	if reg.count == 0 {
+		delete(g.regions, rk)
+		g.free = append(g.free, reg)
+	}
+}
+
+// removeFromCell swap-removes node from its cell bucket. It does not touch
+// the region or grid counts: same-region moves pair it with a bucket append
+// and run region-parallel during the batched move commit.
+func (reg *gridRegion) removeFromCell(node *Node) {
+	li := localIdx(node.cell)
+	s := reg.cells[li]
 	last := len(s) - 1
 	moved := s[last]
 	s[node.cellSlot] = moved
 	moved.cellSlot = node.cellSlot
 	s[last] = nil
-	if last == 0 {
-		delete(g.cells, node.cell)
-	} else {
-		g.cells[node.cell] = s[:last]
-	}
-	g.count--
+	reg.cells[li] = s[:last]
+}
+
+// addToCell appends node to fine cell k inside reg, recording its slot.
+// Counterpart of removeFromCell for same-region moves.
+func (reg *gridRegion) addToCell(node *Node, k cellKey) {
+	node.cell = k
+	li := localIdx(k)
+	s := reg.cells[li]
+	node.cellSlot = len(s)
+	reg.cells[li] = append(s, node)
 }
 
 // update moves node to the cell matching its gridPos, if it changed.
 func (g *grid) update(node *Node) {
-	if g.keyFor(node.gridPos) == node.cell {
+	k := g.keyFor(node.gridPos)
+	if k == node.cell {
+		return
+	}
+	if reg := g.regions[regionOf(node.cell)]; regionOf(k) == regionOf(node.cell) {
+		reg.removeFromCell(node)
+		reg.addToCell(node, k)
 		return
 	}
 	g.remove(node)
-	g.insert(node)
+	node.cell = k
+	g.insertAt(node, k)
 }
 
 // grow rebuilds the index with a larger cell size. Called when a node with
@@ -73,7 +167,8 @@ func (g *grid) update(node *Node) {
 // growing is purely about keeping the ring at most 3x3 cells.
 func (g *grid) grow(cellSize float64, nodes []*Node) {
 	g.cellSize = cellSize
-	g.cells = make(map[cellKey][]*Node, len(g.cells))
+	g.regions = make(map[regionKey]*gridRegion, len(g.regions))
+	g.free = nil
 	g.count = 0
 	for _, node := range nodes {
 		if !node.infra {
@@ -86,6 +181,8 @@ func (g *grid) grow(cellSize float64, nodes []*Node) {
 // of half-width radius around center. Coarse by design: whole cells are
 // appended and the caller re-checks exact distance; order is unspecified,
 // so callers must sort before anything order-sensitive (RNG, delivery).
+// The walk is row-major over fine cells, region by region within each row,
+// skipping empty regions without touching their cells.
 func (g *grid) appendWithin(center Position, radius float64, out []*Node) []*Node {
 	if radius < 0 {
 		radius = 0
@@ -95,8 +192,23 @@ func (g *grid) appendWithin(center Position, radius float64, out []*Node) []*Nod
 	minY := int32(math.Floor((center.Y - radius) / g.cellSize))
 	maxY := int32(math.Floor((center.Y + radius) / g.cellSize))
 	for cy := minY; cy <= maxY; cy++ {
-		for cx := minX; cx <= maxX; cx++ {
-			out = append(out, g.cells[cellKey{cx, cy}]...)
+		ry := cy >> regionShift
+		rowBase := (cy & regionMask) * regionSide
+		for rx := minX >> regionShift; rx <= maxX>>regionShift; rx++ {
+			reg := g.regions[regionKey{rx: rx, ry: ry}]
+			if reg == nil {
+				continue
+			}
+			lo, hi := minX, maxX
+			if first := rx << regionShift; lo < first {
+				lo = first
+			}
+			if last := rx<<regionShift + regionMask; hi > last {
+				hi = last
+			}
+			for cx := lo; cx <= hi; cx++ {
+				out = append(out, reg.cells[rowBase+(cx&regionMask)]...)
+			}
 		}
 	}
 	return out

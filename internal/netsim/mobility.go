@@ -33,6 +33,19 @@ type Planner interface {
 	CommitArrival(n *Network, node *Node)
 }
 
+// Quiescer is an optional MobilityModel extension that reports when a node
+// next needs a Step, letting Mobility park it on the time-wheel instead of
+// visiting it every tick. The contract: between now and the returned
+// instant, Step must be a pure no-op for the node (no position change, no
+// RNG draw) — skipping those calls outright must be unobservable. ok=false
+// parks the node indefinitely; it is stepped again only after an external
+// wake (Network.SetUp re-arms rejoining nodes). Models that do not
+// implement Quiescer are stepped densely, every node every tick, exactly
+// as before the wheel existed.
+type Quiescer interface {
+	NextDue(node *Node, now time.Duration) (at time.Duration, ok bool)
+}
+
 // RandomWaypoint is the classic ad-hoc mobility model: each node picks a
 // uniform random destination in the field, moves toward it at a uniform
 // random speed, pauses, and repeats.
@@ -46,6 +59,7 @@ type RandomWaypoint struct {
 }
 
 var _ Planner = (*RandomWaypoint)(nil)
+var _ Quiescer = (*RandomWaypoint)(nil)
 
 // Init picks the node's first waypoint.
 func (m *RandomWaypoint) Init(n *Network, node *Node) {
@@ -97,17 +111,31 @@ func (m *RandomWaypoint) CommitArrival(n *Network, node *Node) {
 	m.pick(n, node)
 }
 
+// NextDue implements Quiescer: a pausing node next needs a step when its
+// dwell ends (PlanStep is a guaranteed no-op before pauseTo); a moving node
+// needs every tick.
+func (m *RandomWaypoint) NextDue(node *Node, now time.Duration) (time.Duration, bool) {
+	if now < node.pauseTo {
+		return node.pauseTo, true
+	}
+	return now, true
+}
+
 // Static is a mobility model that never moves nodes. Useful for pinning
 // infrastructure nodes while others roam.
 type Static struct{}
 
 var _ MobilityModel = Static{}
+var _ Quiescer = Static{}
 
 // Init implements MobilityModel.
 func (Static) Init(*Network, *Node) {}
 
 // Step implements MobilityModel.
 func (Static) Step(*Network, *Node, time.Duration) {}
+
+// NextDue implements Quiescer: static nodes are permanently quiescent.
+func (Static) NextDue(*Node, time.Duration) (time.Duration, bool) { return 0, false }
 
 // Waypath moves a node along a fixed sequence of positions at a constant
 // speed, then stops. It models scripted walks such as a user approaching a
@@ -120,6 +148,7 @@ type Waypath struct {
 }
 
 var _ MobilityModel = (*Waypath)(nil)
+var _ Quiescer = (*Waypath)(nil)
 
 // Init implements MobilityModel.
 func (m *Waypath) Init(n *Network, node *Node) {
@@ -159,18 +188,42 @@ func (m *Waypath) Step(n *Network, node *Node, dt time.Duration) {
 	node.setPos(pos)
 }
 
-// Mobility attaches a model to a set of nodes and advances them on a fixed
-// tick until stopped.
-type Mobility struct {
-	net    *Network
-	model  MobilityModel
-	nodes  []string
-	tick   time.Duration
-	event  *Event
-	active bool
+// NextDue implements Quiescer: a node still walking its path moves every
+// tick; one that exhausted it parks forever.
+func (m *Waypath) NextDue(node *Node, now time.Duration) (time.Duration, bool) {
+	if m.next[node.ID] >= len(m.Points) {
+		return 0, false
+	}
+	return now, true
+}
 
-	// two-phase tick buffers, reused across ticks.
+// Mobility attaches a model to a set of nodes and advances them on a fixed
+// tick until stopped. Nodes with nothing due — paused at a waypoint, path
+// exhausted, down — are parked on a time-wheel and cost zero until their
+// wake tick, so a tick's cost scales with the active subset, not the
+// population. The due set fires in member order (the StartMobility argument
+// order), which is exactly the order the dense loop visited, so positions
+// and the RNG stream are bit-identical to dense ticking at any worker
+// count.
+type Mobility struct {
+	net     *Network
+	model   MobilityModel
+	planner Planner  // model's two-phase half, nil when not implemented
+	quiesce Quiescer // model's sparse-tick half, nil = dense (arm every tick)
+	tick    time.Duration
+	event   *Event
+	active  bool
+	start   time.Duration // virtual time of StartMobility; tick k fires at start + k*tick
+	tickIdx int64         // index of the last fired tick
+
+	nodes []*Node         // members in argument order — the canonical step order
+	index map[*Node]int32 // member -> index in nodes, for external re-arming
+	wheel *timeWheel
+
+	// per-tick buffers, reused across ticks.
+	due      []int32
 	resolved []*Node
+	resIdx   []int32
 	plans    []stepPlan
 }
 
@@ -182,17 +235,35 @@ type stepPlan struct {
 }
 
 // StartMobility begins moving the given nodes under model every tick of
-// virtual time. It returns a handle whose Stop halts movement.
+// virtual time. It returns a handle whose Stop halts movement. Node IDs are
+// resolved once, here: unknown IDs and duplicates are dropped, and the
+// surviving order is the canonical per-tick step order.
 func (n *Network) StartMobility(model MobilityModel, tick time.Duration, nodeIDs ...string) *Mobility {
 	if tick <= 0 {
 		tick = time.Second
 	}
-	m := &Mobility{net: n, model: model, nodes: nodeIDs, tick: tick, active: true}
+	m := &Mobility{net: n, model: model, tick: tick, active: true, start: n.sim.Now()}
+	m.planner, _ = model.(Planner)
+	m.quiesce, _ = model.(Quiescer)
+	m.nodes = make([]*Node, 0, len(nodeIDs))
+	m.index = make(map[*Node]int32, len(nodeIDs))
 	for _, id := range nodeIDs {
-		if node := n.Node(id); node != nil {
-			model.Init(n, node)
+		node := n.Node(id)
+		if node == nil {
+			continue
 		}
+		if _, dup := m.index[node]; dup {
+			continue
+		}
+		m.index[node] = int32(len(m.nodes))
+		m.nodes = append(m.nodes, node)
+		model.Init(n, node)
 	}
+	m.wheel = newTimeWheel(len(m.nodes))
+	for i, node := range m.nodes {
+		m.arm(int32(i), node)
+	}
+	n.wakers = append(n.wakers, m)
 	m.schedule()
 	return m
 }
@@ -202,34 +273,87 @@ func (m *Mobility) schedule() {
 		if !m.active {
 			return
 		}
-		if p, ok := m.model.(Planner); ok && m.net.workers > 1 {
-			m.stepTwoPhase(p)
-		} else {
-			for _, id := range m.nodes {
-				if node := m.net.Node(id); node != nil && node.Up {
-					m.model.Step(m.net, node, m.tick)
-					// Keep the spatial index in step and advance the topology
-					// epoch for any node the model actually moved.
-					m.net.nodeMoved(node)
-				}
-			}
-		}
+		m.tickIdx++
+		m.stepDue()
 		m.schedule()
 	})
 }
 
-// stepTwoPhase is one parallel mobility tick. Phase 1 plans every node's
-// movement across the worker pool, touching nothing shared; phase 2 commits
-// positions, spatial re-indexing and the model's arrival RNG draws
-// serially, in the same node order the serial loop uses — so trajectories,
-// epochs and the RNG stream are bit-identical to the serial engine.
+// slotFor maps a virtual instant to the first tick slot firing at or after
+// it — never earlier than the next tick.
+func (m *Mobility) slotFor(at time.Duration) int64 {
+	slot := m.tickIdx + 1
+	if d := at - m.start; d > 0 {
+		if k := int64((d + m.tick - 1) / m.tick); k > slot {
+			slot = k
+		}
+	}
+	return slot
+}
+
+// arm asks the model when member i next needs a step and schedules the
+// wake. A model without Quiescer arms every tick — the dense loop.
+func (m *Mobility) arm(i int32, node *Node) {
+	if m.quiesce == nil {
+		m.wheel.arm(i, m.tickIdx+1)
+		return
+	}
+	due, ok := m.quiesce.NextDue(node, m.net.sim.Now())
+	if !ok {
+		return
+	}
+	m.wheel.arm(i, m.slotFor(due))
+}
+
+// nodeUp re-arms a member that just came back up (churn rejoin, duty-cycle
+// wake): a down node that fired while parked is skipped without re-arming,
+// so the external wake is what puts it back on the wheel.
+func (m *Mobility) nodeUp(node *Node) {
+	if !m.active {
+		return
+	}
+	if i, ok := m.index[node]; ok {
+		m.wheel.arm(i, m.tickIdx+1)
+	}
+}
+
+// stepDue advances this tick's due set. Down members are skipped and left
+// parked (nodeUp re-arms them on rejoin); everything stepped is re-armed
+// for its next due tick afterwards.
+func (m *Mobility) stepDue() {
+	m.due = m.wheel.collect(m.tickIdx, m.due[:0])
+	if len(m.due) == 0 {
+		return
+	}
+	if m.planner != nil && m.net.workers > 1 {
+		m.stepTwoPhase(m.planner)
+		return
+	}
+	for _, i := range m.due {
+		node := m.nodes[i]
+		if !node.Up {
+			continue
+		}
+		m.model.Step(m.net, node, m.tick)
+		// Keep the spatial index in step and advance the topology epoch
+		// for any node the model actually moved.
+		m.net.nodeMoved(node)
+		m.arm(i, node)
+	}
+}
+
+// stepTwoPhase is one parallel mobility tick over the due set. Phase 1
+// plans movement across the worker pool, touching nothing shared; phase 2
+// commits positions, the model's arrival RNG draws and the spatial
+// re-indexing in canonical node order — so trajectories, epochs and the
+// RNG stream are bit-identical to the serial engine.
 func (m *Mobility) stepTwoPhase(model Planner) {
-	// Resolve the node set fresh each tick, matching the serial loop's
-	// per-tick lookups (down nodes skip the tick; unknown IDs are ignored).
 	m.resolved = m.resolved[:0]
-	for _, id := range m.nodes {
-		if node := m.net.Node(id); node != nil && node.Up {
+	m.resIdx = m.resIdx[:0]
+	for _, i := range m.due {
+		if node := m.nodes[i]; node.Up {
 			m.resolved = append(m.resolved, node)
+			m.resIdx = append(m.resIdx, i)
 		}
 	}
 	if cap(m.plans) < len(m.resolved) {
@@ -250,7 +374,13 @@ func (m *Mobility) stepTwoPhase(model Planner) {
 		if plans[i].arrived {
 			model.CommitArrival(m.net, node)
 		}
-		m.net.nodeMoved(node)
+	}
+	// Re-index every moved node in one batch: same-region cell moves shard
+	// across the pool, boundary crossings commit serially in canonical
+	// order (see Network.commitMoves).
+	m.net.commitMoves(m.resolved)
+	for i, node := range m.resolved {
+		m.arm(m.resIdx[i], node)
 	}
 }
 
@@ -260,4 +390,5 @@ func (m *Mobility) Stop() {
 	if m.event != nil {
 		m.event.Cancel()
 	}
+	m.net.removeWaker(m)
 }

@@ -235,6 +235,16 @@ type Network struct {
 	// burst of misses (a beacon round querying the whole field) triggers a
 	// parallel warm of every cache when workers > 1.
 	epochMisses int
+	// wakers are the mobility controllers to notify when a down node comes
+	// back up: a node parked on the sparse tick wheel while down must be
+	// re-armed on rejoin (churn, duty cycle) instead of sleeping forever.
+	wakers []*Mobility
+	// regMoves/crossers are reusable classification buffers for the batched
+	// move commit (see commitMoves in parallel.go); ownerMoves holds the
+	// per-worker shards of regMoves so no worker ever reads another
+	// worker's nodes.
+	regMoves, crossers []*Node
+	ownerMoves         [][]*Node
 	// DropHandler, when set, observes messages lost to link loss.
 	DropHandler func(from, to string, bytes int)
 
@@ -354,11 +364,28 @@ func (n *Network) SetHandler(id string, h Handler) {
 	node.handler = h
 }
 
-// SetUp marks a node up or down. Down nodes neither send nor receive.
+// SetUp marks a node up or down. Down nodes neither send nor receive. A
+// node coming up re-arms on every attached mobility wheel, so a rejoin
+// resumes movement even if the node was parked as quiescent while down.
 func (n *Network) SetUp(id string, up bool) {
 	if node := n.nodes[id]; node != nil && node.Up != up {
 		node.Up = up
 		n.bumpEpoch()
+		if up {
+			for _, w := range n.wakers {
+				w.nodeUp(node)
+			}
+		}
+	}
+}
+
+// removeWaker detaches a stopped mobility from the rejoin-wake registry.
+func (n *Network) removeWaker(m *Mobility) {
+	for i, w := range n.wakers {
+		if w == m {
+			n.wakers = append(n.wakers[:i], n.wakers[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -98,3 +98,101 @@ func (n *Network) warmNeighborCaches() {
 	})
 	n.epochMisses = 0
 }
+
+// Region-sharded spatial re-indexing: the commit half of a parallel
+// mobility tick batches every position change and splits the grid work by
+// coarse region. A move that stays inside one region only touches that
+// region's cell buckets, so whole regions shard across the pool with no
+// locks — each region has exactly one owner per commit. Moves that cross a
+// region boundary mutate the region directory (materialize, retire,
+// counts), so they hand off to a serial pass in canonical node order.
+// Either way the grid ends in a state queries cannot distinguish from
+// per-node serial updates: bucket order is unspecified and every query
+// sorts to insertion order before anything order-sensitive.
+
+// regionMoveParallelMin gates the sharded same-region pass: below it the
+// per-worker scan costs more than the moves.
+const regionMoveParallelMin = 256
+
+// regionOwner assigns a region to one worker deterministically.
+func regionOwner(rk regionKey, workers int) int {
+	h := uint32(rk.rx)*2654435761 ^ uint32(rk.ry)*2246822519
+	h ^= h >> 16
+	return int(h % uint32(workers))
+}
+
+// commitMoves re-indexes every node in nodes whose position changed,
+// equivalent to calling nodeMoved on each in order: the topology epoch
+// advances once per moved non-infrastructure node (as the dense loop's
+// per-node bumps would) and the grid reflects every new position. Epoch
+// values are only observable between ticks, so the batched advance is
+// invisible to queries.
+func (n *Network) commitMoves(nodes []*Node) {
+	g := n.grid
+	moved := 0
+	n.regMoves = n.regMoves[:0]
+	n.crossers = n.crossers[:0]
+	for _, node := range nodes {
+		pos := node.Pos()
+		if pos == node.gridPos {
+			continue
+		}
+		node.gridPos = pos
+		if node.infra {
+			continue
+		}
+		moved++
+		k := g.keyFor(pos)
+		if k == node.cell {
+			continue
+		}
+		if regionOf(k) == regionOf(node.cell) {
+			n.regMoves = append(n.regMoves, node)
+		} else {
+			n.crossers = append(n.crossers, node)
+		}
+	}
+	if moved == 0 {
+		return
+	}
+	n.epoch += uint64(moved)
+	n.epochMisses = 0
+	if w := n.workers; w > 1 && len(n.regMoves) >= regionMoveParallelMin {
+		// Shard serially first: a worker must only ever touch its own
+		// nodes — addToCell rewrites node.cell, so another worker testing
+		// ownership via regionOf(node.cell) mid-update would race (the
+		// region value couldn't change, but the read itself is unsynchronized).
+		for len(n.ownerMoves) < w {
+			n.ownerMoves = append(n.ownerMoves, nil)
+		}
+		for i := 0; i < w; i++ {
+			n.ownerMoves[i] = n.ownerMoves[i][:0]
+		}
+		for _, node := range n.regMoves {
+			o := regionOwner(regionOf(node.cell), w)
+			n.ownerMoves[o] = append(n.ownerMoves[o], node)
+		}
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for owner := 0; owner < w; owner++ {
+			go func(own []*Node) {
+				defer wg.Done()
+				for _, node := range own {
+					reg := g.regions[regionOf(node.cell)]
+					reg.removeFromCell(node)
+					reg.addToCell(node, g.keyFor(node.gridPos))
+				}
+			}(n.ownerMoves[owner])
+		}
+		wg.Wait()
+	} else {
+		for _, node := range n.regMoves {
+			g.update(node)
+		}
+	}
+	// Boundary crossings last, serially, in canonical node order: they
+	// mutate the shared region directory.
+	for _, node := range n.crossers {
+		g.update(node)
+	}
+}

@@ -12,8 +12,11 @@ import (
 // sizes from 1k to 10k nodes and worker counts from 1 (the serial engine)
 // to 8. The speedup curve of interest is workers=N vs workers=1 at fixed n;
 // results are bit-identical across the whole matrix, only wall-clock moves.
+// The n=100000 rows are the metropolis scale the hierarchical grid and the
+// sparse tick wheel exist for: a six-figure crowd where most of the field
+// is empty regions and, between dwell expiries, most nodes are parked.
 func BenchmarkStepParallel(b *testing.B) {
-	for _, n := range []int{1000, 2500, 5000, 10000} {
+	for _, n := range []int{1000, 2500, 5000, 10000, 100000} {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
 				sim, net := buildCrowd(1, n, w, 0)

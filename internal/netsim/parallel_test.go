@@ -120,22 +120,36 @@ func TestGridMatchesRescanAfterParallelTicks(t *testing.T) {
 	}
 	g := net.grid
 	indexed := 0
-	for key, cell := range g.cells {
-		for slot, node := range cell {
-			indexed++
-			if node.infra {
-				t.Fatalf("infra node %s found in grid", node.ID)
+	for rk, reg := range g.regions {
+		regCount := 0
+		for li, cell := range reg.cells {
+			key := cellKey{
+				cx: rk.rx<<regionShift + int32(li)&regionMask,
+				cy: rk.ry<<regionShift + int32(li)>>regionShift,
 			}
-			if got := g.keyFor(node.gridPos); got != key {
-				t.Fatalf("%s indexed in cell %v but position hashes to %v", node.ID, key, got)
+			for slot, node := range cell {
+				indexed++
+				regCount++
+				if node.infra {
+					t.Fatalf("infra node %s found in grid", node.ID)
+				}
+				if got := g.keyFor(node.gridPos); got != key {
+					t.Fatalf("%s indexed in cell %v but position hashes to %v", node.ID, key, got)
+				}
+				if node.cell != key || node.cellSlot != slot {
+					t.Fatalf("%s bookkeeping (cell=%v slot=%d) disagrees with location (cell=%v slot=%d)",
+						node.ID, node.cell, node.cellSlot, key, slot)
+				}
+				if node.gridPos != node.Pos() {
+					t.Fatalf("%s grid position %v stale vs actual %v", node.ID, node.gridPos, node.Pos())
+				}
 			}
-			if node.cell != key || node.cellSlot != slot {
-				t.Fatalf("%s bookkeeping (cell=%v slot=%d) disagrees with location (cell=%v slot=%d)",
-					node.ID, node.cell, node.cellSlot, key, slot)
-			}
-			if node.gridPos != node.Pos() {
-				t.Fatalf("%s grid position %v stale vs actual %v", node.ID, node.gridPos, node.Pos())
-			}
+		}
+		if regCount != reg.count {
+			t.Fatalf("region %v count says %d but holds %d nodes", rk, reg.count, regCount)
+		}
+		if regCount == 0 {
+			t.Fatalf("region %v retained while empty", rk)
 		}
 	}
 	if indexed != g.count || indexed != len(net.Nodes()) {

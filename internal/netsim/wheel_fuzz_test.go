@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// FuzzTimeWheel drives random arm/cancel/reschedule/advance sequences
+// against a naive authoritative model (one map of member -> wake slot) and
+// demands the wheel never loses an armed member, never fires one twice,
+// and always fires a slot's members in ascending member order — the
+// canonical (time, nodeID) contract the deterministic engine depends on.
+func FuzzTimeWheel(f *testing.F) {
+	// Waypoint-arrival pattern: everything due next tick, then the arrivals
+	// re-arm far out (a pause) while the rest re-arm at +1.
+	f.Add([]byte{
+		0, 0, 1, 0, 1, 1, 0, 2, 1, 0, 3, 20,
+		3, 3, 0, 1, 25, 0, 2, 1, 3, 3, 3,
+	})
+	// Beacon-cadence pattern: a periodic re-arm at a fixed interval.
+	f.Add([]byte{
+		0, 0, 5, 0, 1, 5, 3, 3, 3, 3, 3, 0, 0, 5, 0, 1, 5, 3, 3, 3, 3, 3,
+	})
+	// Cancel/reschedule mix.
+	f.Add([]byte{0, 0, 4, 1, 0, 2, 0, 9, 0, 0, 2, 3, 3, 3, 3, 1, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const members = 48
+		w := newTimeWheel(members)
+		model := make([]int64, members) // authoritative wake slots
+		for i := range model {
+			model[i] = wheelIdle
+		}
+		cur := int64(0)
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		advance := func() {
+			cur++
+			got := w.collect(cur, nil)
+			seen := int32(-1)
+			for _, i := range got {
+				if i <= seen {
+					t.Fatalf("slot %d fired out of order or duplicated: %v", cur, got)
+				}
+				seen = i
+				if model[i] != cur {
+					t.Fatalf("slot %d fired member %d, model says due at %d", cur, i, model[i])
+				}
+				model[i] = wheelIdle
+			}
+			for i := int32(0); i < members; i++ {
+				if model[i] == cur {
+					t.Fatalf("slot %d lost member %d (model armed, wheel silent)", cur, i)
+				}
+			}
+		}
+		for pos < len(data) {
+			switch next() % 4 {
+			case 0: // arm (earliest wins)
+				i := int32(next()) % members
+				slot := cur + int64(next()%40) + 1
+				w.arm(i, slot)
+				if model[i] == wheelIdle || slot < model[i] {
+					model[i] = slot
+				}
+			case 1: // cancel
+				i := int32(next()) % members
+				w.cancel(i)
+				model[i] = wheelIdle
+			case 2: // reschedule: cancel + arm, so later slots stick too
+				i := int32(next()) % members
+				slot := cur + int64(next()%40) + 1
+				w.cancel(i)
+				w.arm(i, slot)
+				model[i] = slot
+			case 3:
+				advance()
+			}
+			for i := int32(0); i < members; i++ {
+				if got := w.armedAt(i); got != model[i] {
+					t.Fatalf("armedAt(%d) = %d, model %d", i, got, model[i])
+				}
+			}
+		}
+		// Drain: every still-armed member must fire exactly once, in order.
+		for i := 0; i < 64; i++ {
+			advance()
+		}
+		for i := int32(0); i < members; i++ {
+			if model[i] != wheelIdle {
+				t.Fatalf("member %d still armed at %d after full drain", i, model[i])
+			}
+		}
+	})
+}

@@ -81,6 +81,20 @@ func TestChaosWorkersDifferential(t *testing.T) {
 			}},
 		}},
 		{"blackout", scenario.Faults{}}, // zero = keep T13's own full schedule
+		// The metropolis under adversity: churn parks and wakes wheel-ticked
+		// residents mid-dwell while a partition splits the district lattice —
+		// the sparse engine's rejoin/wake paths under the same byte-identical
+		// contract.
+		{"metropolis", scenario.Faults{
+			Loss: 0.15, JitterTicks: 2,
+			Churn: []scenario.ChurnFault{{
+				Pop: "r", Tick: 10 * time.Second, CrashProb: 0.03, Downtime: 25 * time.Second,
+			}},
+			Partitions: []scenario.PartitionFault{{
+				At: 50 * time.Second, Heal: 110 * time.Second, SplitX: 600,
+			}},
+			Retry: scenario.RetryFault{Budget: 3, Timeout: 2 * time.Second},
+		}},
 	}
 	for _, c := range configs {
 		c := c
@@ -88,6 +102,9 @@ func TestChaosWorkersDifferential(t *testing.T) {
 			t.Parallel()
 			run := func(workers int) string {
 				sp := t13ShortSpec()
+				if c.name == "metropolis" {
+					sp = t15ShortSpec()
+				}
 				if !c.faults.IsZero() {
 					sp.Faults = c.faults
 				}

@@ -76,3 +76,10 @@ func TestPortedExperimentGoldens(t *testing.T) {
 func TestT13ShortGolden(t *testing.T) {
 	checkGolden(t, "t13_short_seed1", T13().RunWith(1, t13ShortParams))
 }
+
+// TestT15ShortGolden pins the shrunken metropolis run byte-for-byte, in
+// -short mode too: every CI run diffs the sparse-tick engine's output, and
+// -update regenerations of the hierarchy/wheel behavior stay reviewable.
+func TestT15ShortGolden(t *testing.T) {
+	checkGolden(t, "t15_short_seed1", T15().RunWith(1, t15ShortParams))
+}

@@ -64,6 +64,12 @@ func TestWorkersDifferential(t *testing.T) {
 			cases = append(cases, diffCase{e.ID, renderResult(func(seed int64) *Result {
 				return e.RunWith(seed, t12DiffParams)
 			})})
+		case "T15":
+			// Short config: the full metropolis is a multi-minute run, and the
+			// sparse-engine paths it exercises are identical at 1.5k residents.
+			cases = append(cases, diffCase{e.ID, renderResult(func(seed int64) *Result {
+				return e.RunWith(seed, t15ShortParams)
+			})})
 		default:
 			cases = append(cases, diffCase{e.ID, renderResult(e.Run)})
 		}
