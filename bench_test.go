@@ -7,12 +7,15 @@ package logmob_test
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
 	"logmob/internal/agent"
 	"logmob/internal/core"
 	"logmob/internal/ctxsvc"
+	"logmob/internal/discovery"
 	"logmob/internal/lmu"
 	"logmob/internal/netsim"
 	"logmob/internal/policy"
@@ -387,6 +390,98 @@ func BenchmarkT15Metropolis(b *testing.B) {
 		res := e.RunWith(int64(i+1), params)
 		if len(res.Tables) == 0 {
 			b.Fatal("T15 produced no tables")
+		}
+	}
+}
+
+// BenchmarkSchedulerArm measures the event-queue engines head to head on
+// the beacon-shaped load the timing wheel exists for: n self-re-arming
+// timers on a shared 30s cadence with staggered phases, so every RunFor
+// window fires n callbacks and pushes n re-arms. The heap pays O(log n)
+// per arm and per pop; the wheel pays O(1) per arm and amortised-constant
+// cascades. The n=1000000 rows are the megacity scale (skipped in -short).
+func BenchmarkSchedulerArm(b *testing.B) {
+	const ivl = 30 * time.Second
+	engines := []struct {
+		name string
+		mk   func(int64) *netsim.Sim
+	}{
+		{"heap", netsim.NewSimHeap},
+		{"wheel", netsim.NewSim},
+	}
+	for _, eng := range engines {
+		for _, n := range []int{1000, 100000, 1000000} {
+			b.Run(fmt.Sprintf("%s/n%d", eng.name, n), func(b *testing.B) {
+				if n >= 1000000 && testing.Short() {
+					b.Skip("1M-timer benchmark in -short mode")
+				}
+				s := eng.mk(1)
+				fired := 0
+				var rearm func()
+				rearm = func() {
+					fired++
+					s.After(ivl, rearm)
+				}
+				for i := 0; i < n; i++ {
+					// Stagger initial phases so firings spread across the
+					// interval instead of landing on one instant.
+					s.After(time.Duration(i%1000)*ivl/1000, rearm)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.RunFor(ivl)
+				}
+				b.StopTimer()
+				if fired == 0 {
+					b.Fatal("no timers fired")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBeaconCadence measures one beacon interval of discovery traffic
+// over a dense grid of ad-hoc nodes, per-host timers vs one BeaconBatch:
+// the batch replaces n timer re-arms per interval with one wheel callback
+// and shares a single sorted scratch across every member's frame rebuild.
+func BenchmarkBeaconCadence(b *testing.B) {
+	const ivl = 30 * time.Second
+	for _, mode := range []string{"perhost", "batch"} {
+		for _, n := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("%s/n%d", mode, n), func(b *testing.B) {
+				s := netsim.NewSim(1)
+				net := netsim.NewNetwork(s)
+				sn := transport.NewSimNetwork(net)
+				var batch *discovery.BeaconBatch
+				if mode == "batch" {
+					batch = discovery.NewBeaconBatch(s, ivl)
+				}
+				side := int(math.Ceil(math.Sqrt(float64(n))))
+				class := netsim.AdHoc
+				class.Loss = 0
+				for i := 0; i < n; i++ {
+					name := fmt.Sprintf("h%05d", i)
+					pos := netsim.Position{X: float64(i%side) * 20, Y: float64(i/side) * 20}
+					net.AddNode(name, pos, class)
+					ep, err := sn.Endpoint(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bcn := discovery.NewBeacon(ep, s, ivl)
+					bcn.Advertise(discovery.Ad{Service: "svc/" + name})
+					if batch != nil {
+						batch.Add(bcn)
+					} else {
+						bcn.Start()
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.RunFor(ivl)
+				}
+			})
 		}
 	}
 }

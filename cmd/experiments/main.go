@@ -25,6 +25,8 @@
 //	experiments -json              machine-readable output
 //	experiments -list              list experiments and their motivations
 //	experiments -csv out/          also write each table as CSV under out/
+//	experiments -cpuprofile p.out  write a CPU profile of the whole run
+//	experiments -memprofile m.out  write an allocation profile at exit
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,7 +59,40 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("-cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+			runtime.GC() // flush garbage so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *seeds < 1 {
 		fatalf("-seeds must be >= 1")

@@ -1,0 +1,88 @@
+package discovery
+
+import (
+	"time"
+
+	"logmob/internal/transport"
+)
+
+// BeaconBatch coalesces the cadence of many beacons sharing one interval
+// onto a single scheduler callback. A city of beaconing hosts otherwise
+// keeps one timer record and one re-arm closure per host alive in the
+// scheduler at all times; the batch keeps exactly one, and broadcasts for
+// its members in the order they were added (worlds add in canonical node
+// order), reusing one pooled scratch buffer for any frame rebuilds.
+//
+// Each member's observable behavior is unchanged: the first beacon still
+// goes out the moment the member is added (as Start does), miss eviction
+// still runs on the member's own cadence, and a member that Stops is
+// skipped by the shared tick until Start rejoins it at the next batch
+// tick — hosts churned down and back up resume beaconing without any
+// per-host timer state.
+type BeaconBatch struct {
+	sched    transport.Scheduler
+	interval time.Duration
+	members  []*Beacon
+	scratch  []string
+	stop     func()
+	armed    bool
+}
+
+// NewBeaconBatch returns an empty batch broadcasting every interval.
+func NewBeaconBatch(sched transport.Scheduler, interval time.Duration) *BeaconBatch {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &BeaconBatch{sched: sched, interval: interval}
+}
+
+// Add registers b and starts it under the batch's cadence: the first beacon
+// broadcasts immediately, subsequent ones ride the shared tick. b must have
+// been built with the batch's interval — the batch drives when beacons go
+// out, but miss-eviction deadlines and TTL defaults still read b.interval.
+func (g *BeaconBatch) Add(b *Beacon) {
+	if b.interval != g.interval {
+		panic("discovery: beacon interval differs from its batch")
+	}
+	if b.batch == g {
+		return
+	}
+	if b.batch != nil {
+		panic("discovery: beacon already owned by another batch")
+	}
+	b.Stop() // retire any self-armed timer; the batch owns cadence now
+	b.batch = g
+	g.members = append(g.members, b)
+	b.running = true
+	g.scratch = b.tickOnce(g.scratch)
+	if !g.armed {
+		g.armed = true
+		g.stop = g.sched.After(g.interval, g.tick)
+	}
+}
+
+func (g *BeaconBatch) tick() {
+	for _, b := range g.members {
+		if b.running {
+			g.scratch = b.tickOnce(g.scratch)
+		}
+	}
+	g.stop = g.sched.After(g.interval, g.tick)
+}
+
+// Len returns the number of registered members, running or not.
+func (g *BeaconBatch) Len() int { return len(g.members) }
+
+// Stop halts the shared cadence and every member. Members can be restarted
+// individually (rejoining at the next batch tick) after a later Add re-arms
+// the batch, but normally a stopped batch stays stopped.
+func (g *BeaconBatch) Stop() {
+	if g.stop != nil {
+		g.stop()
+		g.stop = nil
+	}
+	g.armed = false
+	for _, b := range g.members {
+		b.running = false
+	}
+}

@@ -22,6 +22,7 @@ type Beacon struct {
 	cache    *adTable
 	stop     func()
 	running  bool
+	batch    *BeaconBatch
 	// Heard counts beacon messages received.
 	Heard int64
 	// Sent counts beacon broadcasts performed.
@@ -79,11 +80,17 @@ func (b *Beacon) Withdraw(service string) {
 }
 
 // Start begins periodic broadcasting. The first beacon goes out immediately.
+// A beacon owned by a BeaconBatch broadcasts immediately too, then rides the
+// batch's shared cadence instead of arming its own timer.
 func (b *Beacon) Start() {
 	if b.running {
 		return
 	}
 	b.running = true
+	if b.batch != nil {
+		b.tickOnce(nil)
+		return
+	}
 	b.tick()
 }
 
@@ -91,33 +98,40 @@ func (b *Beacon) tick() {
 	if !b.running {
 		return
 	}
-	// Miss eviction is time-driven, anchored to the beacon's own cadence:
-	// a silent neighbor's ads decay even if nobody ever queries this cache.
-	// (Queries still run the same sweep, so a Find between ticks sees
-	// exactly what lazy-only eviction produced.)
-	b.evictMissing()
-	b.broadcastNow()
+	b.tickOnce(nil)
 	b.stop = b.sched.After(b.interval, b.tick)
+}
+
+// tickOnce runs one beacon cycle — miss eviction, then a broadcast — without
+// touching the cadence timer. Miss eviction is time-driven, anchored to the
+// beacon's cadence: a silent neighbor's ads decay even if nobody ever
+// queries this cache. (Queries still run the same sweep, so a Find between
+// ticks sees exactly what lazy-only eviction produced.) scratch is an
+// optional reusable sort buffer for frame rebuilds; the possibly-grown
+// buffer is returned so batch callers can pool it across members.
+func (b *Beacon) tickOnce(scratch []string) []string {
+	b.evictMissing()
+	return b.broadcastNow(scratch)
 }
 
 // broadcastNow sends one beacon containing all local ads. The encoded
 // frame only depends on the ad set (TTLs are relative), so it is built once
 // per Advertise/Withdraw and reused across ticks — at thousands of
 // beaconing nodes the per-tick sort+encode is the discovery hot path.
-func (b *Beacon) broadcastNow() {
+func (b *Beacon) broadcastNow(scratch []string) []string {
 	if len(b.local) == 0 {
-		return
+		return scratch
 	}
 	if b.frame == nil {
 		var buf wire.Buffer
 		buf.PutUint(uint64(len(b.local)))
 		// Deterministic order.
-		services := make([]string, 0, len(b.local))
+		scratch = scratch[:0]
 		for s := range b.local {
-			services = append(services, s)
+			scratch = append(scratch, s)
 		}
-		sort.Strings(services)
-		for _, s := range services {
+		sort.Strings(scratch)
+		for _, s := range scratch {
 			ad := b.local[s]
 			ad.encode(&buf)
 		}
@@ -125,9 +139,12 @@ func (b *Beacon) broadcastNow() {
 	}
 	b.ep.Broadcast(b.frame)
 	b.Sent++
+	return scratch
 }
 
 // Stop halts broadcasting. Cached remote ads continue to expire naturally.
+// A batched beacon stays registered with its batch but is skipped by the
+// shared cadence until Start rejoins it.
 func (b *Beacon) Stop() {
 	b.running = false
 	if b.stop != nil {

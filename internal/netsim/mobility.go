@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 )
 
@@ -225,6 +226,11 @@ type Mobility struct {
 	resolved []*Node
 	resIdx   []int32
 	plans    []stepPlan
+	// planBuckets shards the resolved due set by grid-region owner for
+	// locality-sharded planning: one bucket per worker, each holding indices
+	// into resolved. The same buckets feed commitMoves so the commit never
+	// re-buckets.
+	planBuckets [][]int32
 }
 
 // stepPlan is one node's phase-1 output, committed in phase 2.
@@ -361,12 +367,35 @@ func (m *Mobility) stepTwoPhase(model Planner) {
 	}
 	plans := m.plans[:len(m.resolved)]
 	now := m.net.Sim().Now()
-	runSharded(len(m.resolved), m.net.workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			next, moved, arrived := model.PlanStep(m.resolved[i], now, m.tick)
-			plans[i] = stepPlan{next: next, moved: moved, arrived: arrived}
+	w := m.net.workers
+	var buckets [][]int32
+	if w > 1 && len(m.resolved) >= regionMoveParallelMin {
+		// Locality-sharded planning: each worker streams the nodes of the
+		// grid regions it owns, instead of an arbitrary index span — the
+		// same spatial partition the commit shards by, so the buckets are
+		// computed once and reused there. PlanStep is pure, so any
+		// partition yields identical plans; only cache traffic changes.
+		buckets = m.bucketByRegion(w)
+		var wg sync.WaitGroup
+		wg.Add(len(buckets))
+		for _, bucket := range buckets {
+			go func(idxs []int32) {
+				defer wg.Done()
+				for _, i := range idxs {
+					next, moved, arrived := model.PlanStep(m.resolved[i], now, m.tick)
+					plans[i] = stepPlan{next: next, moved: moved, arrived: arrived}
+				}
+			}(bucket)
 		}
-	})
+		wg.Wait()
+	} else {
+		runSharded(len(m.resolved), w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next, moved, arrived := model.PlanStep(m.resolved[i], now, m.tick)
+				plans[i] = stepPlan{next: next, moved: moved, arrived: arrived}
+			}
+		})
+	}
 	for i, node := range m.resolved {
 		if plans[i].moved {
 			node.setPos(plans[i].next)
@@ -377,11 +406,31 @@ func (m *Mobility) stepTwoPhase(model Planner) {
 	}
 	// Re-index every moved node in one batch: same-region cell moves shard
 	// across the pool, boundary crossings commit serially in canonical
-	// order (see Network.commitMoves).
-	m.net.commitMoves(m.resolved)
+	// order, and the planner's region buckets (when built) are reused so
+	// the commit never re-buckets (see Network.commitMoves).
+	m.net.commitMoves(m.resolved, buckets)
 	for i, node := range m.resolved {
 		m.arm(m.resIdx[i], node)
 	}
+}
+
+// bucketByRegion shards the resolved due set across w workers by the
+// deterministic owner of each node's current grid region, reusing the
+// bucket storage across ticks. Nodes of one region always land in one
+// bucket, so the owning worker streams spatially-clustered SoA entries.
+func (m *Mobility) bucketByRegion(w int) [][]int32 {
+	for len(m.planBuckets) < w {
+		m.planBuckets = append(m.planBuckets, nil)
+	}
+	buckets := m.planBuckets[:w]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	for i, node := range m.resolved {
+		o := regionOwner(regionOf(node.cell), w)
+		buckets[o] = append(buckets[o], int32(i))
+	}
+	return buckets
 }
 
 // Stop halts movement. Safe to call more than once.

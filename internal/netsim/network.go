@@ -245,6 +245,10 @@ type Network struct {
 	// worker's nodes.
 	regMoves, crossers []*Node
 	ownerMoves         [][]*Node
+	// moveFlags marks, per committed node index, same-region movers when
+	// the caller supplies pre-bucketed shards (locality-sharded planning):
+	// the commit then reuses those buckets instead of re-bucketing.
+	moveFlags []uint8
 	// DropHandler, when set, observes messages lost to link loss.
 	DropHandler func(from, to string, bytes int)
 

@@ -127,12 +127,29 @@ func regionOwner(rk regionKey, workers int) int {
 // per-node bumps would) and the grid reflects every new position. Epoch
 // values are only observable between ticks, so the batched advance is
 // invisible to queries.
-func (n *Network) commitMoves(nodes []*Node) {
+//
+// buckets, when non-nil, are the locality shards phase 1 planned under:
+// per-owner lists of indices into nodes, sharded by regionOwner of each
+// node's pre-move region. A same-region move cannot change its region — so
+// it cannot change its owner — and the commit reuses the buckets as-is
+// instead of re-bucketing: the serial pass only flags which indices are
+// same-region movers, and each worker walks its own bucket. nil buckets
+// select the self-bucketing path.
+func (n *Network) commitMoves(nodes []*Node, buckets [][]int32) {
 	g := n.grid
 	moved := 0
+	regCount := 0
+	reuse := buckets != nil
+	if reuse {
+		if cap(n.moveFlags) < len(nodes) {
+			n.moveFlags = make([]uint8, len(nodes))
+		}
+		n.moveFlags = n.moveFlags[:len(nodes)]
+		clear(n.moveFlags)
+	}
 	n.regMoves = n.regMoves[:0]
 	n.crossers = n.crossers[:0]
-	for _, node := range nodes {
+	for i, node := range nodes {
 		pos := node.Pos()
 		if pos == node.gridPos {
 			continue
@@ -147,7 +164,12 @@ func (n *Network) commitMoves(nodes []*Node) {
 			continue
 		}
 		if regionOf(k) == regionOf(node.cell) {
-			n.regMoves = append(n.regMoves, node)
+			regCount++
+			if reuse {
+				n.moveFlags[i] = 1
+			} else {
+				n.regMoves = append(n.regMoves, node)
+			}
 		} else {
 			n.crossers = append(n.crossers, node)
 		}
@@ -157,7 +179,34 @@ func (n *Network) commitMoves(nodes []*Node) {
 	}
 	n.epoch += uint64(moved)
 	n.epochMisses = 0
-	if w := n.workers; w > 1 && len(n.regMoves) >= regionMoveParallelMin {
+	w := n.workers
+	switch {
+	case reuse && w > 1 && regCount >= regionMoveParallelMin:
+		var wg sync.WaitGroup
+		wg.Add(len(buckets))
+		for _, bucket := range buckets {
+			go func(idxs []int32) {
+				defer wg.Done()
+				for _, i := range idxs {
+					if n.moveFlags[i] == 0 {
+						continue
+					}
+					node := nodes[i]
+					reg := g.regions[regionOf(node.cell)]
+					reg.removeFromCell(node)
+					reg.addToCell(node, g.keyFor(node.gridPos))
+				}
+			}(bucket)
+		}
+		wg.Wait()
+	case reuse:
+		// Too few movers to shard: serial, in canonical node order.
+		for i, node := range nodes {
+			if n.moveFlags[i] == 1 {
+				g.update(node)
+			}
+		}
+	case w > 1 && regCount >= regionMoveParallelMin:
 		// Shard serially first: a worker must only ever touch its own
 		// nodes — addToCell rewrites node.cell, so another worker testing
 		// ownership via regionOf(node.cell) mid-update would race (the
@@ -185,7 +234,7 @@ func (n *Network) commitMoves(nodes []*Node) {
 			}(n.ownerMoves[owner])
 		}
 		wg.Wait()
-	} else {
+	default:
 		for _, node := range n.regMoves {
 			g.update(node)
 		}

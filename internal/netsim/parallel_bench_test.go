@@ -15,10 +15,16 @@ import (
 // The n=100000 rows are the metropolis scale the hierarchical grid and the
 // sparse tick wheel exist for: a six-figure crowd where most of the field
 // is empty regions and, between dwell expiries, most nodes are parked.
+// The n=1000000 rows are the megacity scale that adds the timing-wheel
+// scheduler and locality-sharded planning; they build a seven-figure world
+// per sub-benchmark, so -short skips them.
 func BenchmarkStepParallel(b *testing.B) {
-	for _, n := range []int{1000, 2500, 5000, 10000, 100000} {
+	for _, n := range []int{1000, 2500, 5000, 10000, 100000, 1000000} {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				if n >= 1000000 && testing.Short() {
+					b.Skip("1M-node tick benchmark in -short mode")
+				}
 				sim, net := buildCrowd(1, n, w, 0)
 				ids := net.Nodes()
 				b.ResetTimer()

@@ -13,7 +13,13 @@ import (
 // waypoint, with every node broadcasting a small frame every beaconIvl (the
 // burst that makes the whole field's neighbor sets hot at one epoch).
 func buildCrowd(seed int64, n, workers int, beaconIvl time.Duration) (*Sim, *Network) {
-	sim := NewSim(seed)
+	return buildCrowdOn(NewSim(seed), seed, n, workers, beaconIvl)
+}
+
+// buildCrowdOn is buildCrowd over a caller-supplied simulator, so the
+// wheel-vs-heap scheduler differential can run the same crowd on both event
+// queue engines.
+func buildCrowdOn(sim *Sim, seed int64, n, workers int, beaconIvl time.Duration) (*Sim, *Network) {
 	net := NewNetwork(sim)
 	net.SetWorkers(workers)
 	field := math.Sqrt(float64(n) * math.Pi * 40 * 40 / 5) // ~5 expected neighbors

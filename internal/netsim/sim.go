@@ -20,7 +20,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -28,11 +27,11 @@ import (
 
 // Sim is a discrete-event scheduler with a virtual clock.
 type Sim struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	seed   int64
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	seed  int64
 	// free holds recycled delivery events. Only typed delivery events land
 	// here: they are created internally and never handed to callers, so no
 	// outside reference can observe the reuse. Events returned by Schedule
@@ -41,9 +40,18 @@ type Sim struct {
 }
 
 // NewSim returns a simulator whose PRNG is seeded with seed. Identical seeds
-// yield identical runs.
+// yield identical runs. The event queue is a hashed hierarchical timing
+// wheel (see schedwheel.go); it fires events in exactly the same (time,
+// sequence) order as the binary-heap engine NewSimHeap keeps as an oracle.
 func NewSim(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed, queue: newWheelQueue()}
+}
+
+// NewSimHeap returns a simulator running on the original binary-heap event
+// queue. It is kept as the timing wheel's differential oracle: a given seed
+// produces bit-identical runs on either engine.
+func NewSimHeap(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed, queue: &heapQueue{}}
 }
 
 // Seed returns the seed the simulator was built with, so derived RNG
@@ -89,7 +97,7 @@ func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
 	}
 	e := &Event{at: s.now + delay, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -119,7 +127,7 @@ func (s *Sim) scheduleDelivery(delay time.Duration, net *Network, from, to strin
 	e.air = air
 	e.pooled = pooled
 	s.seq++
-	heap.Push(&s.events, e)
+	s.queue.push(e)
 }
 
 // fire executes a popped event. Typed delivery events are recycled into the
@@ -140,33 +148,26 @@ func (s *Sim) fire(e *Event) {
 // Step fires the earliest pending event. It returns false when no events
 // remain.
 func (s *Sim) Step() bool {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.at > s.now {
-			s.now = e.at
-		}
-		s.fire(e)
-		return true
+	e := s.queue.pop()
+	if e == nil {
+		return false
 	}
-	return false
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.fire(e)
+	return true
 }
 
 // Run fires events until the virtual clock would pass until, then sets the
 // clock to until. Events at exactly until do fire.
 func (s *Sim) Run(until time.Duration) {
-	for s.events.Len() > 0 {
-		e := s.events[0]
-		if e.canceled {
-			heap.Pop(&s.events)
-			continue
-		}
-		if e.at > until {
+	for {
+		e := s.queue.peek()
+		if e == nil || e.at > until {
 			break
 		}
-		heap.Pop(&s.events)
+		s.queue.pop()
 		if e.at > s.now {
 			s.now = e.at
 		}
@@ -198,7 +199,7 @@ func (s *Sim) RunUntilIdle(maxEvents int) {
 
 // Pending returns the number of events in the queue, including cancelled
 // events that have not yet been discarded.
-func (s *Sim) Pending() int { return s.events.Len() }
+func (s *Sim) Pending() int { return s.queue.len() }
 
 // After implements the transport.Scheduler contract: it schedules fn after d
 // and returns a cancel function.

@@ -227,7 +227,11 @@ func (s *Spec) Compile(seed int64) *World {
 				if p.AdSelf != "" {
 					b.Advertise(discovery.Ad{Service: p.AdSelf + name})
 				}
-				b.Start()
+				// Batched cadence: one scheduler timer per interval for the
+				// whole world instead of one per host, broadcasting in
+				// creation (canonical) order. Add also sends the immediate
+				// first beacon, exactly as Start would here.
+				w.BeaconBatch(p.Beacon).Add(b)
 				w.Beacons[name] = b
 			}
 			if p.Setup != nil {

@@ -12,6 +12,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"logmob/internal/agent"
 	"logmob/internal/core"
@@ -48,6 +49,10 @@ type World struct {
 	// Beacons maps node name to its discovery beacon, for populations that
 	// enable beaconing.
 	Beacons map[string]*discovery.Beacon
+	// batches holds one shared beacon cadence per distinct interval:
+	// compiled populations coalesce onto one scheduler timer per interval
+	// instead of one per host (see discovery.BeaconBatch).
+	batches map[time.Duration]*discovery.BeaconBatch
 	// Pops maps population name to its node names in creation order.
 	Pops map[string][]string
 	// Records collects every agent that finished on a compiled population's
@@ -138,6 +143,22 @@ func (w *World) LastRecord(unitName string) (agent.Record, bool) {
 		}
 	}
 	return agent.Record{}, false
+}
+
+// BeaconBatch returns the world's shared beacon cadence for one interval,
+// creating it on first use. Compiled populations add every member's beacon
+// here in creation order, so a whole interval class costs one scheduler
+// timer and broadcasts in canonical node order.
+func (w *World) BeaconBatch(interval time.Duration) *discovery.BeaconBatch {
+	if w.batches == nil {
+		w.batches = make(map[time.Duration]*discovery.BeaconBatch)
+	}
+	g := w.batches[interval]
+	if g == nil {
+		g = discovery.NewBeaconBatch(w.Sim, interval)
+		w.batches[interval] = g
+	}
+	return g
 }
 
 // nodeName names the i-th member of a population.

@@ -95,6 +95,20 @@ func TestChaosWorkersDifferential(t *testing.T) {
 			}},
 			Retry: scenario.RetryFault{Budget: 3, Timeout: 2 * time.Second},
 		}},
+		// The megacity config: churn repeatedly parks and wakes residents
+		// whose beacons ride a shared batch tick — beacons must stop while a
+		// node is down and resume on SetUp(true) rejoin without a per-host
+		// timer — while the timing wheel drains fault-jittered deliveries.
+		{"megacity", scenario.Faults{
+			Loss: 0.2, JitterTicks: 3,
+			Churn: []scenario.ChurnFault{{
+				Pop: "r", Tick: 8 * time.Second, CrashProb: 0.05, Downtime: 20 * time.Second,
+			}},
+			Partitions: []scenario.PartitionFault{{
+				At: 40 * time.Second, Heal: 95 * time.Second, SplitX: 700,
+			}},
+			Retry: scenario.RetryFault{Budget: 3, Timeout: 2 * time.Second},
+		}},
 	}
 	for _, c := range configs {
 		c := c
@@ -102,8 +116,11 @@ func TestChaosWorkersDifferential(t *testing.T) {
 			t.Parallel()
 			run := func(workers int) string {
 				sp := t13ShortSpec()
-				if c.name == "metropolis" {
+				switch c.name {
+				case "metropolis":
 					sp = t15ShortSpec()
+				case "megacity":
+					sp = t16ShortSpec()
 				}
 				if !c.faults.IsZero() {
 					sp.Faults = c.faults

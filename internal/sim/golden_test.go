@@ -83,3 +83,11 @@ func TestT13ShortGolden(t *testing.T) {
 func TestT15ShortGolden(t *testing.T) {
 	checkGolden(t, "t15_short_seed1", T15().RunWith(1, t15ShortParams))
 }
+
+// TestT16ShortGolden pins the shrunken megacity run byte-for-byte, in
+// -short mode too: every CI run diffs the timing-wheel scheduler, the
+// batched beacon cadence and the locality-sharded planner against a
+// committed rendering.
+func TestT16ShortGolden(t *testing.T) {
+	checkGolden(t, "t16_short_seed1", T16().RunWith(1, t16ShortParams))
+}

@@ -62,7 +62,7 @@ func FromSpec(id, title, motivation string, defaults map[string]float64,
 // All returns every experiment in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(), T14(), T15(), A1(), A2(), A3(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(), T14(), T15(), T16(), A1(), A2(), A3(),
 	}
 }
 

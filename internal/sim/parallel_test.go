@@ -70,6 +70,13 @@ func TestWorkersDifferential(t *testing.T) {
 			cases = append(cases, diffCase{e.ID, renderResult(func(seed int64) *Result {
 				return e.RunWith(seed, t15ShortParams)
 			})})
+		case "T16":
+			// Short config likewise: the 1M full run lives behind
+			// TestT16MegacityFullScale (LOGMOB_T16_FULL=1); the wheel/batch/
+			// locality paths it exercises are identical at 2k residents.
+			cases = append(cases, diffCase{e.ID, renderResult(func(seed int64) *Result {
+				return e.RunWith(seed, t16ShortParams)
+			})})
 		default:
 			cases = append(cases, diffCase{e.ID, renderResult(e.Run)})
 		}

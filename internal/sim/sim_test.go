@@ -9,8 +9,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("All() has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("All() has %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -174,6 +174,9 @@ type (
 	LookupClient = discovery.LookupClient
 	// Beacon is decentralised ad-hoc discovery.
 	Beacon = discovery.Beacon
+	// BeaconBatch coalesces beacons sharing an interval onto one scheduler
+	// timer, broadcasting in canonical node order.
+	BeaconBatch = discovery.BeaconBatch
 )
 
 // Context awareness.
@@ -289,8 +292,14 @@ var (
 	LAN   = netsim.LAN
 )
 
-// NewSim returns a deterministic simulator for the given seed.
+// NewSim returns a deterministic simulator for the given seed. Its event
+// queue is a hashed hierarchical timing wheel; NewSimHeap keeps the original
+// binary-heap engine as a differential oracle with identical semantics.
 func NewSim(seed int64) *Sim { return netsim.NewSim(seed) }
+
+// NewSimHeap returns a simulator on the binary-heap event queue, the timing
+// wheel's bit-identical differential oracle.
+func NewSimHeap(seed int64) *Sim { return netsim.NewSimHeap(seed) }
 
 // NewNetwork returns an empty simulated network driven by sim.
 func NewNetwork(sim *Sim) *Network { return netsim.NewNetwork(sim) }
